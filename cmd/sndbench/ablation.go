@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"snd"
+	"snd/internal/opinion"
+	"snd/internal/pqueue"
+)
+
+// runAblation times and values the design choices DESIGN.md calls out,
+// on one fixed instance: computation engine, flow solver, Dijkstra
+// heap, ground-cost model, bank allocation, and bank distance gamma.
+// Values must agree within a configuration family wherever DESIGN.md
+// claims exactness (engines, solvers, heaps); models, banks and gamma
+// legitimately change the measure.
+func runAblation(sc scale, seed int64) {
+	n := sc.fig10N
+	g := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: n, OutDeg: 6, Exponent: -2.3, Reciprocity: 0.3, Seed: seed + 70,
+	})
+	ev := snd.NewEvolution(g, n/10, seed+71)
+	a := ev.Step(0.3, 0.02)
+	b := ev.Step(0.3, 0.02)
+	fmt.Printf("instance: n=%d, m=%d, n-delta=%d\n\n", g.N(), g.M(), a.DiffCount(b))
+
+	run := func(group, name string, opts snd.Options) {
+		start := time.Now()
+		res, err := snd.Distance(g, a, b, opts)
+		if err != nil {
+			fatalf("ablation %s/%s: %v", group, name, err)
+		}
+		fmt.Printf("%-10s %-16s snd=%-12.1f %-10v sssp=%d\n",
+			group, name, res.SND, time.Since(start).Round(time.Millisecond), res.SSSPRuns)
+	}
+
+	for _, engine := range []snd.Engine{snd.EngineBipartite, snd.EngineNetwork} {
+		opts := snd.DefaultOptions()
+		opts.Engine = engine
+		run("engine", engine.String(), opts)
+	}
+	if n <= 2000 {
+		opts := snd.DefaultOptions()
+		opts.Engine = snd.EngineDense
+		run("engine", "dense", opts)
+	}
+	fmt.Println()
+	for _, solver := range []snd.FlowSolver{snd.FlowSSP, snd.FlowCostScaling} {
+		opts := snd.DefaultOptions()
+		opts.Engine = snd.EngineNetwork
+		opts.Solver = solver
+		run("solver", solver.String(), opts)
+	}
+	fmt.Println()
+	for _, heap := range []pqueue.Kind{pqueue.KindBinary, pqueue.KindDial, pqueue.KindRadix} {
+		opts := snd.DefaultOptions()
+		opts.Heap = heap
+		opts.Engine = snd.EngineBipartite
+		opts.Solver = snd.FlowCostScaling
+		run("heap", heap.String(), opts)
+	}
+	fmt.Println()
+	for _, model := range []opinion.PenaltyModel{
+		opinion.DefaultAgnostic, opinion.DefaultICC, opinion.DefaultLinearThreshold,
+	} {
+		opts := snd.DefaultOptions()
+		opts.Costs = opinion.DefaultGroundCosts(model)
+		run("model", model.Name(), opts)
+	}
+	fmt.Println()
+	bankCases := []struct {
+		name     string
+		clusters []int
+	}{
+		{"per-user", nil},
+		{"64-cluster", snd.BFSClusterLabels(g, 64)},
+		{"global", make([]int, g.N())},
+	}
+	for _, c := range bankCases {
+		opts := snd.DefaultOptions()
+		opts.Clusters = c.clusters
+		run("banks", c.name, opts)
+	}
+	fmt.Println()
+	for _, gamma := range []int64{1, 4, 8, 17} {
+		opts := snd.DefaultOptions()
+		opts.Gamma = gamma
+		run("gamma", fmt.Sprintf("gamma=%d", gamma), opts)
+	}
+}

@@ -1,0 +1,207 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"snd"
+	"snd/internal/dynamics"
+)
+
+// measures returns the four distance measures compared throughout
+// Section 6. SND runs with coarse (Fig. 4) bank clusters: cluster
+// banks absorb the mass mismatch at cluster granularity, which keeps
+// the penalty spatial while avoiding the saturated escape costs that
+// per-user banks pay at weakly-connected users of a directed follower
+// graph (see EXPERIMENTS.md).
+func measures(g *snd.Graph) []snd.Measure {
+	opts := snd.DefaultOptions()
+	opts.Clusters = snd.BFSClusterLabels(g, 64)
+	return []snd.Measure{
+		snd.SNDMeasure(g, opts),
+		snd.HammingMeasure(g.N()),
+		snd.WalkDistMeasure(g),
+		snd.QuadFormMeasure(g),
+	}
+}
+
+// evolutionWithAnomalies generates a state series where the transitions
+// at anomalous indices shift activation mass from the neighbor channel
+// to the structure-blind external source while matching the normal
+// ticks' activation volume, so the anomaly is invisible in the
+// activation count ("hard to detect by observing the summary of the
+// social network", Section 6.2) and lives purely in *where* the
+// activations sit.
+func evolutionWithAnomalies(g *snd.Graph, states int, adopters int,
+	normal, anomalous dynamics.StepParams, anomalyAt map[int]bool, seed int64,
+) []snd.State {
+	ev := snd.NewEvolution(g, adopters, seed)
+	// Each tick gives a fixed-size sample of neutral users a chance to
+	// activate, keeping activation growth linear across the series.
+	tries := g.N() / 10
+	out := []snd.State{ev.State()}
+	prev := ev.State()
+	// volumeEMA tracks the running activation volume of normal ticks;
+	// anomalous ticks are topped up with random activations to match it.
+	volumeEMA := -1.0
+	for i := 1; i < states; i++ {
+		var next snd.State
+		if anomalyAt[i] {
+			next = ev.StepSample(tries, anomalous.Pnbr, 0)
+			structured := prev.DiffCount(next)
+			fill := int(float64(tries) * anomalous.Pext * 4)
+			if volumeEMA >= 0 {
+				fill = int(volumeEMA) - structured
+			}
+			if fill > 0 {
+				next = ev.Inject(fill)
+			}
+		} else {
+			next = ev.StepSample(tries, normal.Pnbr, normal.Pext)
+			vol := float64(prev.DiffCount(next))
+			if volumeEMA < 0 {
+				volumeEMA = vol
+			} else {
+				volumeEMA = 0.7*volumeEMA + 0.3*vol
+			}
+		}
+		out = append(out, next)
+		prev = next
+	}
+	return out
+}
+
+// runFig7 reproduces Fig. 7: a qualitative anomaly-series plot. SND
+// spikes at the simulated anomalies; coordinate-wise measures do not.
+func runFig7(sc scale, seed int64) {
+	fmt.Printf("Fig. 7: distance between adjacent network states (normalized, scaled)\n")
+	fmt.Printf("|V| = %d, scale-free exponent -2.3, %d states\n", sc.fig7N, sc.fig7States)
+	fmt.Printf("normal: Pnbr=0.12 Pext=0.01; anomalous: Pnbr=0.08 Pext=0.05\n\n")
+	g := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: sc.fig7N, OutDeg: 6, Exponent: -2.3, Reciprocity: 0.5, Seed: seed,
+	})
+	anomalyAt := map[int]bool{10: true, 20: true, 30: true}
+	states := evolutionWithAnomalies(g, sc.fig7States, sc.fig7N/25,
+		dynamics.StepParams{Pnbr: 0.12, Pext: 0.01},
+		dynamics.StepParams{Pnbr: 0.08, Pext: 0.05},
+		anomalyAt, seed+1)
+
+	reports := make([]snd.AnomalyReport, 0, 4)
+	for _, m := range measures(g) {
+		rep, err := snd.DetectAnomalies(states, m)
+		if err != nil {
+			fatalf("fig7 %s: %v", m.Name(), err)
+		}
+		reports = append(reports, rep)
+	}
+	fmt.Printf("%-6s %-9s", "pair", "anomaly")
+	for _, r := range reports {
+		fmt.Printf(" %-10s", r.Name)
+	}
+	fmt.Println()
+	for t := 0; t < len(states)-1; t++ {
+		mark := ""
+		if anomalyAt[t+1] {
+			mark = "  <== simulated"
+		}
+		flag := " "
+		if anomalyAt[t+1] {
+			flag = "*"
+		}
+		fmt.Printf("%-6d %-9s", t, flag)
+		for _, r := range reports {
+			fmt.Printf(" %-10.3f", r.Distances[t])
+		}
+		fmt.Println(mark)
+	}
+	fmt.Println()
+	for _, r := range reports {
+		fmt.Printf("%-10s: mean spike score at simulated anomalies = %.3f, elsewhere = %.3f\n",
+			r.Name, meanAt(r.Scores, anomalyAt, true), meanAt(r.Scores, anomalyAt, false))
+	}
+}
+
+func meanAt(scores []float64, anomalyAt map[int]bool, atAnomaly bool) float64 {
+	sum, n := 0.0, 0
+	for t, s := range scores {
+		if anomalyAt[t+1] == atAnomaly {
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// runFig8 reproduces Fig. 8: ROC curves for anomaly detection over a
+// large set of network-state transitions. Normal transitions follow the
+// network's structure (one competitive-cascade tick over a partially
+// activated base state); anomalous transitions apply the same *number*
+// of activations at structure-blind random locations, so the anomaly is
+// invisible to activation-volume summaries. Headline (paper): SND
+// achieves TPR ~0.83 at FPR <= 0.3 while the next best measure manages
+// ~0.4.
+//
+// The paper drives the anomaly with a (Pnbr, Pext) probability shift
+// inside one long state series at n=30k, where each anomalous tick
+// carries hundreds of activations. A chained series at laptop scale
+// either saturates the network or leaves each tick with too few
+// activations to detect, so this harness draws independent transitions
+// from fresh partially-activated bases instead — the same anomaly class
+// (structured vs structure-blind activation patterns at matched
+// volume), with per-transition volumes comparable to the paper's ticks.
+func runFig8(sc scale, seed int64) {
+	transitions := sc.fig8States
+	fmt.Printf("Fig. 8: ROC over %d transitions, |V| = %d (exponent -2.3)\n", transitions, sc.fig8N)
+	fmt.Printf("normal: competitive-cascade tick; anomalous: volume-matched random activations\n\n")
+	g := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: sc.fig8N, OutDeg: 6, Exponent: -2.3, Reciprocity: 0.2, Seed: seed + 10,
+	})
+	rng := rand.New(rand.NewSource(seed + 11))
+	type transition struct {
+		before, after snd.State
+		anomalous     bool
+	}
+	var ts []transition
+	for k := 0; k < transitions; k++ {
+		// Fresh base: evolve a blob to ~6-12%% coverage.
+		ev := snd.NewEvolution(g, g.N()/40, seed+12+int64(k))
+		burn := 4 + rng.Intn(5)
+		for b := 0; b < burn; b++ {
+			ev.StepSample(g.N()/10, 0.25, 0.01)
+		}
+		base := ev.State()
+		normal, activated := snd.ICCStep(g, base, 0.06, rng)
+		if activated == 0 {
+			continue
+		}
+		if rng.Float64() < 0.3 {
+			after, _ := snd.RandomActivationStep(g, base, activated, rng)
+			ts = append(ts, transition{base, after, true})
+		} else {
+			ts = append(ts, transition{base, normal, false})
+		}
+	}
+	fmt.Printf("%-10s %-8s %-14s\n", "measure", "AUC", "TPR@FPR<=0.3")
+	for _, m := range measures(g) {
+		scores := make([]float64, len(ts))
+		truth := make([]bool, len(ts))
+		for i, tr := range ts {
+			v, err := m.Distance(tr.before, tr.after)
+			if err != nil {
+				fatalf("fig8 %s: %v", m.Name(), err)
+			}
+			// The paper's normalization: distance over the number of
+			// active users at the later state.
+			scores[i] = v / float64(tr.after.ActiveCount())
+			truth[i] = tr.anomalous
+		}
+		curve, err := snd.ROC(scores, truth)
+		if err != nil {
+			fatalf("fig8 %s: %v", m.Name(), err)
+		}
+		fmt.Printf("%-10s %-8.3f %-14.3f\n", m.Name(), snd.AUC(curve), snd.TPRAtFPR(curve, 0.3))
+	}
+}

@@ -1,0 +1,85 @@
+// Anomaly detection: generate an opinion-evolution series with two
+// injected anomalies and locate them with SND vs baseline measures
+// (the Section 6.2 pipeline at example scale).
+//
+// Run with: go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snd"
+)
+
+func main() {
+	g := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: 1500, OutDeg: 6, Exponent: -2.3, Reciprocity: 0.3, Seed: 7,
+	})
+
+	// Normal evolution: neighbor-driven adoption. Anomalous steps shift
+	// probability mass to the structure-blind external source while
+	// keeping the activation volume similar — the anomaly class only a
+	// propagation-aware distance can see.
+	const steps = 24
+	anomalousAt := map[int]bool{8: true, 16: true}
+	ev := snd.NewEvolution(g, 60, 8)
+	for i := 0; i < 3; i++ {
+		ev.Step(0.12, 0.01) // burn in past the initial activation burst
+	}
+	states := []snd.State{ev.State()}
+	for i := 1; i < steps; i++ {
+		if anomalousAt[i] {
+			states = append(states, ev.Step(0.08, 0.05))
+		} else {
+			states = append(states, ev.Step(0.12, 0.01))
+		}
+	}
+
+	measures := []snd.Measure{
+		snd.SNDMeasure(g, snd.DefaultOptions()),
+		snd.HammingMeasure(g.N()),
+		snd.QuadFormMeasure(g),
+	}
+	fmt.Printf("%-6s %-10s %-10s %-10s  %s\n", "step", "snd", "hamming", "quad-form", "truth")
+	reports := make([]snd.AnomalyReport, len(measures))
+	for i, m := range measures {
+		rep, err := snd.DetectAnomalies(states, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports[i] = rep
+	}
+	for t := 0; t < steps-1; t++ {
+		mark := ""
+		if anomalousAt[t+1] {
+			mark = "<== injected anomaly"
+		}
+		fmt.Printf("%-6d %-10.3f %-10.3f %-10.3f  %s\n",
+			t, reports[0].Distances[t], reports[1].Distances[t], reports[2].Distances[t], mark)
+	}
+
+	// Rank transitions by anomaly score and report each measure's
+	// top-2 picks.
+	fmt.Println("\ntop-2 anomaly picks per measure:")
+	for _, rep := range reports {
+		best, second := -1, -1
+		for t, s := range rep.Scores {
+			switch {
+			case best < 0 || s > rep.Scores[best]:
+				second = best
+				best = t
+			case second < 0 || s > rep.Scores[second]:
+				second = t
+			}
+		}
+		hit := 0
+		if anomalousAt[best+1] {
+			hit++
+		}
+		if anomalousAt[second+1] {
+			hit++
+		}
+		fmt.Printf("  %-10s transitions %d, %d  (%d/2 correct)\n", rep.Name, best, second, hit)
+	}
+}

@@ -1,0 +1,62 @@
+// Opinion prediction: hide the opinions of a sample of active users in
+// the newest network state and recover them with the Section 6.3
+// distance-based method (SND vs hamming) and the two non-distance
+// baselines.
+//
+// Run with: go run ./examples/prediction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"snd"
+)
+
+func main() {
+	g := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: 800, OutDeg: 5, Exponent: -2.5, Reciprocity: 0.6, Seed: 21,
+	})
+	ev := snd.NewEvolution(g, 80, 22)
+	states := []snd.State{ev.State()}
+	for i := 0; i < 6; i++ {
+		states = append(states, ev.Step(0.15, 0.01))
+	}
+	truth := states[len(states)-1]
+	past := states[len(states)-4 : len(states)-1] // 3 most recent observed states
+
+	rng := rand.New(rand.NewSource(23))
+	targets := snd.SelectPredictionTargets(truth, 12, rng)
+	current := snd.BlankTargets(truth, targets)
+	fmt.Printf("predicting %d hidden users among %d active\n\n", len(targets), truth.ActiveCount())
+
+	sndOpts := snd.DefaultOptions()
+	sndOpts.Clusters = snd.BFSClusterLabels(g, 64)
+	predictors := []snd.Predictor{
+		snd.DistanceBasedPredictor(snd.SNDMeasure(g, sndOpts), 100, 24),
+		snd.DistanceBasedPredictor(snd.HammingMeasure(g.N()), 100, 24),
+		snd.NhoodVotingPredictor(g, 25),
+		snd.CommunityLPPredictor(g, 26),
+	}
+	fmt.Printf("%-14s %-9s %s\n", "method", "accuracy", "predictions (target:guess/truth)")
+	for _, p := range predictors {
+		preds, err := p.Predict(past, current, targets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		acc, err := snd.PredictionAccuracy(truth, targets, preds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detail := ""
+		for i, u := range targets {
+			if i == 4 {
+				detail += "..."
+				break
+			}
+			detail += fmt.Sprintf("%d:%s/%s ", u, preds[i], truth[u])
+		}
+		fmt.Printf("%-14s %-9.0f %s\n", p.Name(), acc*100, detail)
+	}
+}

@@ -1,0 +1,143 @@
+// Package anomaly implements the anomalous-network-state detection
+// pipeline of the paper's Section 6.2: distances between adjacent
+// network states are normalized by the number of active users and
+// min-max scaled; each transition then receives the anomaly score
+//
+//	S_t = (d_t - d_{t-1}) + (d_t - d_{t+1})
+//
+// (spikes score high); transitions ranked by score yield ROC curves
+// against ground-truth anomaly labels.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+
+	"snd/internal/stats"
+)
+
+// NormalizeSeries divides each adjacent-state distance by the number of
+// users active at the *later* state of its transition and min-max
+// scales the result to [0, 1]. actives[i] must be the active-user count
+// of state i; len(actives) == len(dists)+1.
+func NormalizeSeries(dists []float64, actives []int) ([]float64, error) {
+	if len(actives) != len(dists)+1 {
+		return nil, fmt.Errorf("anomaly: %d active counts for %d distances", len(actives), len(dists))
+	}
+	out := make([]float64, len(dists))
+	for i, d := range dists {
+		a := actives[i+1]
+		if a < 1 {
+			a = 1
+		}
+		out[i] = d / float64(a)
+	}
+	return stats.Scale01(out), nil
+}
+
+// Scores computes S_t = (d_t - d_{t-1}) + (d_t - d_{t+1}) for every
+// transition. Boundary transitions use only the available neighbor
+// (the paper leaves the final quarter unscored for the same reason; we
+// treat the missing neighbor term as zero).
+func Scores(dists []float64) []float64 {
+	n := len(dists)
+	out := make([]float64, n)
+	for t := 0; t < n; t++ {
+		s := 0.0
+		if t > 0 {
+			s += dists[t] - dists[t-1]
+		}
+		if t+1 < n {
+			s += dists[t] - dists[t+1]
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// ROCPoint is one point of a receiver operating characteristic curve.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROC ranks transitions by decreasing score and sweeps the decision
+// threshold, returning the curve (including the (0,0) and (1,1)
+// endpoints). truth[t] marks transition t as a real anomaly.
+func ROC(scores []float64, truth []bool) ([]ROCPoint, error) {
+	if len(scores) != len(truth) {
+		return nil, fmt.Errorf("anomaly: %d scores for %d labels", len(scores), len(truth))
+	}
+	pos, neg := 0, 0
+	for _, v := range truth {
+		if v {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("anomaly: degenerate ground truth (%d positives, %d negatives)", pos, neg)
+	}
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	curve := []ROCPoint{{FPR: 0, TPR: 0, Threshold: scores[order[0]] + 1}}
+	tp, fp := 0, 0
+	for k := 0; k < len(order); {
+		// Consume ties together so the curve is threshold-consistent.
+		thr := scores[order[k]]
+		for k < len(order) && scores[order[k]] == thr {
+			if truth[order[k]] {
+				tp++
+			} else {
+				fp++
+			}
+			k++
+		}
+		curve = append(curve, ROCPoint{
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+			Threshold: thr,
+		})
+	}
+	return curve, nil
+}
+
+// AUC returns the area under an ROC curve by trapezoidal integration.
+func AUC(curve []ROCPoint) float64 {
+	area := 0.0
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// TPRAtFPR returns the best true-positive rate achievable at false-
+// positive rate <= maxFPR (the paper reports TPR at FPR <= 0.3).
+func TPRAtFPR(curve []ROCPoint, maxFPR float64) float64 {
+	best := 0.0
+	for _, p := range curve {
+		if p.FPR <= maxFPR && p.TPR > best {
+			best = p.TPR
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k highest-scoring transitions in
+// decreasing score order.
+func TopK(scores []float64, k int) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}

@@ -1,0 +1,159 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeSeries(t *testing.T) {
+	d, err := NormalizeSeries([]float64{10, 20, 30}, []int{5, 10, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// raw normalized: 1, 2, 1 -> scaled: 0, 1, 0.
+	want := []float64{0, 1, 0}
+	for i := range d {
+		if d[i] != want[i] {
+			t.Fatalf("normalized = %v, want %v", d, want)
+		}
+	}
+	if _, err := NormalizeSeries([]float64{1}, []int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Zero active counts must not divide by zero.
+	if _, err := NormalizeSeries([]float64{1, 2}, []int{0, 0, 0}); err != nil {
+		t.Errorf("zero actives: %v", err)
+	}
+}
+
+func TestScores(t *testing.T) {
+	// A clean spike at index 2.
+	d := []float64{1, 1, 5, 1, 1}
+	s := Scores(d)
+	if s[2] != 8 {
+		t.Errorf("spike score = %v, want 8", s[2])
+	}
+	if s[1] >= s[2] || s[3] >= s[2] {
+		t.Errorf("spike should dominate neighbors: %v", s)
+	}
+	// Boundaries use one-sided differences.
+	if s[0] != d[0]-d[1] {
+		t.Errorf("left boundary = %v", s[0])
+	}
+	if s[4] != d[4]-d[3] {
+		t.Errorf("right boundary = %v", s[4])
+	}
+	if got := Scores(nil); len(got) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestROCPerfect(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.2}
+	truth := []bool{true, false, true, false}
+	curve, err := ROC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); auc != 1 {
+		t.Errorf("AUC = %v, want 1 for perfect ranking", auc)
+	}
+	if tpr := TPRAtFPR(curve, 0.0); tpr != 1 {
+		t.Errorf("TPR@FPR=0 = %v, want 1", tpr)
+	}
+}
+
+func TestROCWorst(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.2, 0.8}
+	truth := []bool{true, false, true, false}
+	curve, err := ROC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(curve); auc != 0 {
+		t.Errorf("AUC = %v, want 0 for inverted ranking", auc)
+	}
+}
+
+func TestROCTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	truth := []bool{true, false, true, false}
+	curve, err := ROC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All tied: one diagonal step, AUC 0.5.
+	if auc := AUC(curve); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("AUC = %v, want 0.5 for all-tied scores", auc)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Error("no negatives accepted")
+	}
+	if _, err := ROC([]float64{1, 2}, []bool{false, false}); err == nil {
+		t.Error("no positives accepted")
+	}
+}
+
+// TestQuickROCMonotone: ROC curves are monotone non-decreasing in both
+// coordinates and end at (1,1).
+func TestQuickROCMonotone(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		scores := make([]float64, len(raw))
+		truth := make([]bool, len(raw))
+		hasPos, hasNeg := false, false
+		for i, v := range raw {
+			scores[i] = float64(v % 16)
+			truth[i] = v%3 == 0
+			if truth[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		curve, err := ROC(scores, truth)
+		if err != nil {
+			return false
+		}
+		last := curve[len(curve)-1]
+		if last.FPR != 1 || last.TPR != 1 {
+			return false
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+				return false
+			}
+		}
+		auc := AUC(curve)
+		return auc >= 0 && auc <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.5}
+	top := TopK(scores, 2)
+	if len(top) != 2 || top[0] != 1 || top[1] != 2 {
+		t.Errorf("TopK = %v", top)
+	}
+	if got := TopK(scores, 10); len(got) != 3 {
+		t.Errorf("TopK overflow = %v", got)
+	}
+}

@@ -1,0 +1,189 @@
+// Package cluster groups graph nodes into clusters. Clusters serve two
+// roles in the SND reproduction: they define where EMD*'s local bank
+// bins attach (Section 4), and they back the community-lp opinion
+// prediction baseline (Conover et al.), which assigns opinions by
+// community membership.
+package cluster
+
+import (
+	"math/rand"
+
+	"snd/internal/graph"
+)
+
+// Singleton returns the finest clustering: every node its own cluster.
+// This is the default bank allocation of the scalable SND path (one
+// bank per bin, exactly the setting of the paper's Theorem 4 proof).
+func Singleton(n int) []int {
+	c := make([]int, n)
+	for i := range c {
+		c[i] = i
+	}
+	return c
+}
+
+// Count returns the number of distinct cluster labels; labels must be
+// dense in [0, Count).
+func Count(labels []int) int {
+	max := -1
+	for _, l := range labels {
+		if l > max {
+			max = l
+		}
+	}
+	return max + 1
+}
+
+// Normalize remaps arbitrary labels onto a dense [0, k) range,
+// preserving grouping, and returns the remapped slice and k.
+func Normalize(labels []int) ([]int, int) {
+	remap := make(map[int]int)
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := remap[l]
+		if !ok {
+			id = len(remap)
+			remap[l] = id
+		}
+		out[i] = id
+	}
+	return out, len(remap)
+}
+
+// LabelPropagation detects communities by asynchronous label
+// propagation over the undirected view of g: every node repeatedly
+// adopts the most frequent label among its (in+out) neighbors, ties
+// broken by smallest label, until no label changes or maxIter sweeps
+// pass. Node visit order is shuffled per sweep with the seeded RNG, so
+// results are deterministic for a fixed seed.
+func LabelPropagation(g *graph.Digraph, maxIter int, seed int64) []int {
+	n := g.N()
+	labels := Singleton(n)
+	rev := g.Reverse()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make(map[int]int)
+	for iter := 0; iter < maxIter; iter++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := false
+		for _, v := range order {
+			clear(counts)
+			for _, u := range g.Out(v) {
+				counts[labels[u]]++
+			}
+			for _, u := range rev.Out(v) {
+				counts[labels[u]]++
+			}
+			if len(counts) == 0 {
+				continue
+			}
+			best, bestCount := labels[v], 0
+			for l, c := range counts {
+				if c > bestCount || (c == bestCount && l < best) {
+					best, bestCount = l, c
+				}
+			}
+			if best != labels[v] {
+				labels[v] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	out, _ := Normalize(labels)
+	return out
+}
+
+// BFSPartition splits the nodes of g into at most k clusters of
+// near-equal size by multi-seed BFS over the undirected view: k seeds
+// are spread across the node range and grow breadth-first in
+// round-robin order, so clusters are connected whenever the graph is.
+// Unreached nodes (isolated components) are appended to the smallest
+// cluster. This is the structural-proximity bank grouping of Fig. 4.
+func BFSPartition(g *graph.Digraph, k int) []int {
+	n := g.N()
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	rev := g.Reverse()
+	queues := make([][]int, k)
+	sizes := make([]int, k)
+	for c := 0; c < k; c++ {
+		seed := c * n / k
+		labels[seed] = c
+		queues[c] = append(queues[c], seed)
+		sizes[c]++
+	}
+	target := (n + k - 1) / k
+	active := k
+	for active > 0 {
+		active = 0
+		for c := 0; c < k; c++ {
+			if len(queues[c]) == 0 || sizes[c] >= target+1 {
+				continue
+			}
+			active++
+			v := queues[c][0]
+			queues[c] = queues[c][1:]
+			grow := func(u int32) {
+				if labels[u] == -1 && sizes[c] <= target {
+					labels[u] = c
+					sizes[c]++
+					queues[c] = append(queues[c], int(u))
+				}
+			}
+			for _, u := range g.Out(v) {
+				grow(u)
+			}
+			for _, u := range rev.Out(v) {
+				grow(u)
+			}
+		}
+	}
+	// Sweep leftovers (size caps or disconnected nodes) onto the
+	// currently smallest cluster.
+	for v := range labels {
+		if labels[v] == -1 {
+			smallest := 0
+			for c := 1; c < k; c++ {
+				if sizes[c] < sizes[smallest] {
+					smallest = c
+				}
+			}
+			labels[v] = smallest
+			sizes[smallest]++
+		}
+	}
+	out, _ := Normalize(labels)
+	return out
+}
+
+// Sizes returns the number of nodes per cluster.
+func Sizes(labels []int) []int {
+	s := make([]int, Count(labels))
+	for _, l := range labels {
+		s[l]++
+	}
+	return s
+}
+
+// Members returns, for each cluster, the node indices it contains.
+func Members(labels []int) [][]int {
+	out := make([][]int, Count(labels))
+	for v, l := range labels {
+		out[l] = append(out[l], v)
+	}
+	return out
+}

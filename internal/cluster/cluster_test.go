@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"testing"
+
+	"snd/internal/graph"
+)
+
+func TestSingleton(t *testing.T) {
+	c := Singleton(4)
+	if Count(c) != 4 {
+		t.Errorf("Count = %d", Count(c))
+	}
+	for i, l := range c {
+		if l != i {
+			t.Errorf("label[%d] = %d", i, l)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	labels := []int{7, 7, 3, 9, 3}
+	out, k := Normalize(labels)
+	if k != 3 {
+		t.Fatalf("k = %d, want 3", k)
+	}
+	if out[0] != out[1] || out[2] != out[4] || out[0] == out[2] || out[3] == out[0] {
+		t.Errorf("grouping broken: %v", out)
+	}
+	for _, l := range out {
+		if l < 0 || l >= k {
+			t.Errorf("label %d not dense in [0,%d)", l, k)
+		}
+	}
+}
+
+func TestLabelPropagationTwoCliques(t *testing.T) {
+	// Two 6-cliques joined by one edge must resolve to two communities.
+	b := graph.NewBuilder(12)
+	addClique := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			for v := lo; v < hi; v++ {
+				if u != v {
+					b.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	addClique(0, 6)
+	addClique(6, 12)
+	b.AddEdge(5, 6)
+	g := b.Build()
+	labels := LabelPropagation(g, 50, 1)
+	if Count(labels) != 2 {
+		t.Fatalf("found %d communities, want 2 (labels %v)", Count(labels), labels)
+	}
+	for v := 1; v < 6; v++ {
+		if labels[v] != labels[0] {
+			t.Errorf("node %d split from clique A", v)
+		}
+	}
+	for v := 7; v < 12; v++ {
+		if labels[v] != labels[6] {
+			t.Errorf("node %d split from clique B", v)
+		}
+	}
+	if labels[0] == labels[6] {
+		t.Error("cliques merged")
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g := graph.PlantedPartition(graph.PlantedPartitionConfig{
+		N: 200, K: 4, AvgInDeg: 10, IntraFrac: 0.9, Reciprocity: 0.5, Seed: 2,
+	})
+	a := LabelPropagation(g, 30, 42)
+	b := LabelPropagation(g, 30, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical labels")
+		}
+	}
+}
+
+func TestBFSPartition(t *testing.T) {
+	g := graph.Grid(10, 10)
+	for _, k := range []int{1, 2, 4, 7} {
+		labels := BFSPartition(g, k)
+		if got := Count(labels); got != k {
+			t.Errorf("k=%d: Count = %d", k, got)
+		}
+		sizes := Sizes(labels)
+		min, max := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max > 3*min+3 {
+			t.Errorf("k=%d: unbalanced sizes %v", k, sizes)
+		}
+	}
+}
+
+func TestBFSPartitionEdgeCases(t *testing.T) {
+	g := graph.Ring(5)
+	if got := Count(BFSPartition(g, 0)); got != 1 {
+		t.Errorf("k=0 -> %d clusters", got)
+	}
+	if got := Count(BFSPartition(g, 99)); got != 5 {
+		t.Errorf("k>n -> %d clusters, want n", got)
+	}
+	// Disconnected graph: isolated nodes must still get labels.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	dg := b.Build()
+	labels := BFSPartition(dg, 2)
+	for v, l := range labels {
+		if l < 0 {
+			t.Errorf("node %d unlabeled", v)
+		}
+	}
+}
+
+func TestMembersAndSizes(t *testing.T) {
+	labels := []int{0, 1, 0, 2, 1}
+	m := Members(labels)
+	if len(m) != 3 || len(m[0]) != 2 || m[0][1] != 2 || len(m[2]) != 1 {
+		t.Errorf("Members = %v", m)
+	}
+	s := Sizes(labels)
+	if s[0] != 2 || s[1] != 2 || s[2] != 1 {
+		t.Errorf("Sizes = %v", s)
+	}
+}

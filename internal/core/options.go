@@ -1,0 +1,201 @@
+// Package core implements Social Network Distance (SND), the paper's
+// primary contribution: a distance between two states of a social
+// network holding polar opinions, defined (eq. 3) as
+//
+//	SND(G1,G2) = 1/2 * [ EMD*(G1+, G2+, D(G1,+)) + EMD*(G1-, G2-, D(G1,-))
+//	                   + EMD*(G2+, G1+, D(G2,+)) + EMD*(G2-, G1-, D(G2,-)) ]
+//
+// where Gi+/Gi- are the positive/negative opinion histograms and
+// D(Gi,op) is the shortest-path ground distance over the opinion-
+// dependent integer edge costs of eq. 2 (package opinion).
+//
+// Three computation engines are provided:
+//
+//   - EngineBipartite — the Theorem 4 pipeline: Lemma 1/2 reduce the
+//     transportation problem to the n-delta users whose opinion
+//     changed (plus bank bins on the lighter histogram's active
+//     users), one single-source shortest path run per residual
+//     supplier (or per residual consumer, on the reversed graph, when
+//     the banks sit on the supplier side), then an integer min-cost
+//     flow on the reduced bipartite instance.
+//
+//   - EngineNetwork — routes opinion mass through the social network
+//     itself: graph edges become flow arcs with the eq. 2 costs and
+//     bank bins become satellite nodes. Optimal flow cost equals the
+//     bipartite optimum by path decomposition, with no shortest-path
+//     precomputation and no quadratic cost materialization, which is
+//     what scales to large n-delta.
+//
+//   - EngineDense — the oracle: full Johnson all-pairs ground distance
+//     plus the dense EMD* of package emd. Exponentially clearer,
+//     polynomially slower; used for cross-validation and as the
+//     "direct solver" baseline of Fig. 11 (see Direct).
+//
+// All engines compute the same value exactly (tests pin this) as long
+// as the default singleton bank clustering is used; coarse clusterings
+// are honored exactly by EngineDense and approximated from above by
+// the fast engines (see DESIGN.md).
+package core
+
+import (
+	"fmt"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+	"snd/internal/pqueue"
+)
+
+// Engine selects the SND computation strategy.
+type Engine int
+
+const (
+	// EngineAuto picks EngineBipartite when the reduced instance is
+	// small enough and EngineNetwork otherwise.
+	EngineAuto Engine = iota
+	// EngineBipartite is the Theorem 4 SSSP + reduced-flow pipeline.
+	EngineBipartite
+	// EngineNetwork routes mass through the graph directly.
+	EngineNetwork
+	// EngineDense is the all-pairs + dense EMD* oracle.
+	EngineDense
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineBipartite:
+		return "bipartite"
+	case EngineNetwork:
+		return "network"
+	case EngineDense:
+		return "dense"
+	default:
+		return "auto"
+	}
+}
+
+// FlowSolver selects the min-cost-flow algorithm for the fast engines.
+type FlowSolver int
+
+const (
+	// FlowAuto uses SSP for bipartite instances and cost-scaling for
+	// network-routed instances.
+	FlowAuto FlowSolver = iota
+	// FlowSSP forces successive shortest paths.
+	FlowSSP
+	// FlowCostScaling forces Goldberg-Tarjan cost-scaling (CS2).
+	FlowCostScaling
+)
+
+// String names the solver.
+func (s FlowSolver) String() string {
+	switch s {
+	case FlowSSP:
+		return "ssp"
+	case FlowCostScaling:
+		return "cost-scaling"
+	default:
+		return "auto"
+	}
+}
+
+// Options configures SND.
+type Options struct {
+	// Costs supplies the eq. 2 ground-cost model. The zero value is
+	// replaced by DefaultGroundCosts(DefaultAgnostic).
+	Costs opinion.GroundCosts
+	// Gamma is the integer bank-bin ground distance (the gamma of
+	// eq. 4 under singleton clusters). 0 selects 1 — the friendly-edge
+	// cost scale, which follows the paper's guidance that gamma be of
+	// the order of the ground distances local to the bank's cluster
+	// and maximizes the spatial sensitivity of the mismatch penalty.
+	// Larger values weight pure activation-volume change more heavily
+	// relative to placement.
+	Gamma int64
+	// Engine selects the computation strategy.
+	Engine Engine
+	// Solver selects the min-cost-flow algorithm for fast engines.
+	Solver FlowSolver
+	// Heap selects the Dijkstra priority queue for the SSSP runs.
+	Heap pqueue.Kind
+	// Clusters optionally groups users for bank allocation (nil =
+	// one bank per user, the Theorem 4 setting).
+	Clusters []int
+	// BipartiteArcLimit bounds the supplier x consumer arc count at
+	// which EngineAuto still picks the bipartite pipeline. 0 selects
+	// 4e6.
+	BipartiteArcLimit int
+	// EscapeHops thresholds the ground distance: transport between
+	// users with no directed path (or one costing more) is charged
+	// EscapeHops maximally-expensive virtual hops (EscapeHops * U).
+	// This is the finite-cost reading of the paper's epsilon
+	// probabilities for impossible events — two states are never at
+	// distance infinity — with the thresholded-ground-distance
+	// semantics of the EMD literature the paper cites. The threshold
+	// keeps a single weakly-connected user from dominating the
+	// distance on directed follower graphs. 0 selects 32; set it to
+	// n+1 (or math.MaxInt32) for the untruncated shortest-path metric.
+	EscapeHops int
+}
+
+// DefaultOptions returns the configuration used by the paper's
+// experiments: agnostic ground costs, Dial's bucket-queue Dijkstra
+// (valid since Assumption 2 bounds the costs), automatic engine choice.
+func DefaultOptions() Options {
+	return Options{
+		Costs: opinion.DefaultGroundCosts(opinion.DefaultAgnostic),
+		Heap:  pqueue.KindDial,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Costs.Model == nil {
+		o.Costs = opinion.DefaultGroundCosts(opinion.DefaultAgnostic)
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 1
+	}
+	if o.BipartiteArcLimit <= 0 {
+		o.BipartiteArcLimit = 4_000_000
+	}
+	if o.EscapeHops <= 0 {
+		o.EscapeHops = 32
+	}
+	return o
+}
+
+func (o Options) validate(g *graph.Digraph, a, b opinion.State) error {
+	if len(a) != g.N() || len(b) != g.N() {
+		return fmt.Errorf("core: states have %d/%d users, graph has %d", len(a), len(b), g.N())
+	}
+	for i, s := range a {
+		if !s.Valid() {
+			return fmt.Errorf("core: state A user %d has invalid opinion %d", i, s)
+		}
+	}
+	for i, s := range b {
+		if !s.Valid() {
+			return fmt.Errorf("core: state B user %d has invalid opinion %d", i, s)
+		}
+	}
+	if o.Clusters != nil && len(o.Clusters) != g.N() {
+		return fmt.Errorf("core: %d cluster labels for %d users", len(o.Clusters), g.N())
+	}
+	return nil
+}
+
+// Result reports an SND evaluation.
+type Result struct {
+	// SND is the distance value (eq. 3).
+	SND float64
+	// Terms holds the four EMD* values in eq. 3 order:
+	// (A+,B+,D(A,+)), (A-,B-,D(A,-)), (B+,A+,D(B,+)), (B-,A-,D(B,-)).
+	Terms [4]float64
+	// NDelta is the number of users whose opinion differs between the
+	// two states.
+	NDelta int
+	// SSSPRuns counts single-source shortest-path computations.
+	SSSPRuns int
+	// Engine records the engine that produced each term.
+	EnginesUsed [4]Engine
+}

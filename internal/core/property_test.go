@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+)
+
+// TestIsolatedNeutralUsersInvariant: appending isolated, neutral users
+// never changes SND — they hold no mass and host no banks.
+func TestIsolatedNeutralUsersInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := graph.ErdosRenyi(40, 240, 61)
+	a := randState(40, 0.4, rng)
+	b := perturb(a, 6, rng)
+	base, err := Distance(g, a, b, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild with 15 extra isolated users.
+	big := graph.NewBuilder(55)
+	g.Edges(func(u, v int32) bool {
+		big.AddEdge(int(u), int(v))
+		return true
+	})
+	g2 := big.Build()
+	a2 := append(a.Clone(), opinion.NewState(15)...)
+	b2 := append(b.Clone(), opinion.NewState(15)...)
+	got, err := Distance(g2, a2, b2, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.SND-base.SND) > 1e-9*math.Max(1, base.SND) {
+		t.Errorf("isolated neutral users changed SND: %v -> %v", base.SND, got.SND)
+	}
+}
+
+// TestRelabelingInvariant: permuting user identities (graph and states
+// together) never changes SND.
+func TestRelabelingInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(20)
+		g := graph.ErdosRenyi(n, 5*n, seed)
+		a := randState(n, 0.4, rng)
+		b := perturb(a, 1+rng.Intn(6), rng)
+		base, err := Distance(g, a, b, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		perm := rng.Perm(n)
+		pb := graph.NewBuilder(n)
+		g.Edges(func(u, v int32) bool {
+			pb.AddEdge(perm[u], perm[v])
+			return true
+		})
+		pg := pb.Build()
+		pa := opinion.NewState(n)
+		pbState := opinion.NewState(n)
+		for i := 0; i < n; i++ {
+			pa[perm[i]] = a[i]
+			pbState[perm[i]] = b[i]
+		}
+		got, err := Distance(pg, pa, pbState, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.SND-base.SND) <= 1e-9*math.Max(1, base.SND)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSignFlipSymmetry: flipping every opinion (+ <-> -) in both states
+// never changes SND — the measure treats the two polar opinions
+// symmetrically.
+func TestSignFlipSymmetry(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(20)
+		g := graph.ErdosRenyi(n, 5*n, seed+1)
+		a := randState(n, 0.4, rng)
+		b := perturb(a, 1+rng.Intn(6), rng)
+		base, err := Distance(g, a, b, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		fa, fb := a.Clone(), b.Clone()
+		for i := range fa {
+			fa[i] = fa[i].Opposite()
+			fb[i] = fb[i].Opposite()
+		}
+		got, err := Distance(g, fa, fb, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		return math.Abs(got.SND-base.SND) <= 1e-9*math.Max(1, base.SND)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFartherActivationCostsMore: on a bidirected path graph with the
+// only active user at one end, activating a user farther down the path
+// costs strictly more.
+func TestFartherActivationCostsMore(t *testing.T) {
+	const n = 12
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(i+1, i)
+	}
+	g := b.Build()
+	base := opinion.NewState(n)
+	base[0] = opinion.Positive
+	prev := -1.0
+	for pos := 1; pos < n; pos++ {
+		next := base.Clone()
+		next[pos] = opinion.Positive
+		res, err := Distance(g, base, next, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SND <= prev {
+			t.Fatalf("activation at %d costs %v, not more than %v at %d", pos, res.SND, prev, pos-1)
+		}
+		prev = res.SND
+	}
+}
+
+// TestStubbornnessRaisesCost: per-user stubbornness (the Pin term)
+// makes opinion transport into the stubborn user more expensive.
+func TestStubbornnessRaisesCost(t *testing.T) {
+	// Strongly-connected chain 0 - 1 - 2 plus a dead-end user 3 (no
+	// outgoing edges), so no transport for the (base, next) pair ever
+	// crosses an edge into 3.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 1)
+	b.AddEdge(1, 3)
+	g := b.Build()
+	base := opinion.State{opinion.Positive, opinion.Neutral, opinion.Neutral, opinion.Neutral}
+	next := base.Clone()
+	next[2] = opinion.Positive
+	opts := DefaultOptions()
+	open, err := Distance(g, base, next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Costs.PerUserIn = []int32{0, 0, 5, 0}
+	stubborn, err := Distance(g, base, next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stubborn.SND <= open.SND {
+		t.Errorf("stubborn target should cost more: %v vs %v", stubborn.SND, open.SND)
+	}
+	// Stubbornness of the dead-end user raises U (and with it the
+	// escape cap) but must not change this pair's value, since every
+	// real transport path avoids edges into user 3 and nothing is
+	// stranded on this strongly-connected component.
+	opts.Costs.PerUserIn = []int32{0, 0, 0, 9}
+	other, err := Distance(g, base, next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.SND != open.SND {
+		t.Errorf("dead-end stubbornness changed SND: %v vs %v", other.SND, open.SND)
+	}
+}
+
+// TestEscapeHopsMonotone: a larger escape threshold never lowers SND
+// (it can only raise the capped ground distances).
+func TestEscapeHopsMonotone(t *testing.T) {
+	// Disconnected pieces force escape usage.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	a := opinion.State{opinion.Positive, opinion.Neutral, opinion.Neutral, opinion.Neutral, opinion.Neutral, opinion.Neutral}
+	c := opinion.State{opinion.Neutral, opinion.Neutral, opinion.Neutral, opinion.Positive, opinion.Neutral, opinion.Neutral}
+	prev := -1.0
+	for _, hops := range []int{2, 8, 32} {
+		opts := DefaultOptions()
+		opts.EscapeHops = hops
+		res, err := Distance(g, a, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SND < prev {
+			t.Fatalf("EscapeHops=%d lowered SND: %v < %v", hops, res.SND, prev)
+		}
+		prev = res.SND
+	}
+}

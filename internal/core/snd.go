@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"snd/internal/emd"
+	"snd/internal/graph"
+	"snd/internal/opinion"
+	"snd/internal/sssp"
+)
+
+// Distance computes SND(a, b) over network g (eq. 3): the average of
+// four EMD* terms, one per (opinion, ground-state) combination, which
+// makes the measure symmetric in its arguments even though each ground
+// distance is directed and state-dependent.
+func Distance(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(g, a, b); err != nil {
+		return Result{}, err
+	}
+	specs := [4]termSpec{
+		{op: opinion.Positive, p: a, q: b, ref: a},
+		{op: opinion.Negative, p: a, q: b, ref: a},
+		{op: opinion.Positive, p: b, q: a, ref: b},
+		{op: opinion.Negative, p: b, q: a, ref: b},
+	}
+	var res Result
+	res.NDelta = a.DiffCount(b)
+	for i, spec := range specs {
+		v, runs, used, err := computeTerm(g, spec, opts)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: term %d (%s over D(%s)): %w", i, spec.op, refName(i), err)
+		}
+		res.Terms[i] = v
+		res.SSSPRuns += runs
+		res.EnginesUsed[i] = used
+	}
+	res.SND = (res.Terms[0] + res.Terms[1] + res.Terms[2] + res.Terms[3]) / 2
+	return res, nil
+}
+
+func refName(term int) string {
+	if term < 2 {
+		return "G1"
+	}
+	return "G2"
+}
+
+// Direct computes SND the way a general-purpose solver would (the
+// "CPLEX" baseline of Fig. 11): full Johnson all-pairs ground
+// distances and the un-reduced dense EMD* transportation problem
+// solved with the transportation simplex. Exact but super-cubic;
+// intended for small n and for validating the fast engines.
+func Direct(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(g, a, b); err != nil {
+		return Result{}, err
+	}
+	specs := [4]termSpec{
+		{op: opinion.Positive, p: a, q: b, ref: a},
+		{op: opinion.Negative, p: a, q: b, ref: a},
+		{op: opinion.Positive, p: b, q: a, ref: b},
+		{op: opinion.Negative, p: b, q: a, ref: b},
+	}
+	var res Result
+	res.NDelta = a.DiffCount(b)
+	maxCost := opts.Costs.MaxCost()
+	inf := infCost(g.N(), maxCost, opts.EscapeHops)
+	for i, spec := range specs {
+		w := opts.Costs.EdgeCosts(g, spec.ref, spec.op)
+		d := sssp.Johnson(g, w, opts.Heap, maxCost)
+		distFn := func(x, y int) float64 {
+			v := d[x][y]
+			if v >= sssp.Unreachable || v > inf {
+				return float64(inf)
+			}
+			return float64(v)
+		}
+		p := spec.p.Histogram(spec.op)
+		q := spec.q.Histogram(spec.op)
+		v, err := emd.StarUnreduced(p, q, distFn, emd.StarConfig{
+			Clusters:   opts.Clusters,
+			GammaFloor: float64(opts.Gamma),
+			Solver:     emd.SolverSimplex,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("core: direct term %d: %w", i, err)
+		}
+		res.Terms[i] = v
+		res.SSSPRuns += g.N()
+		res.EnginesUsed[i] = EngineDense
+	}
+	res.SND = (res.Terms[0] + res.Terms[1] + res.Terms[2] + res.Terms[3]) / 2
+	return res, nil
+}
+
+// Series computes the distances between every adjacent pair of a state
+// series: out[i] = SND(states[i], states[i+1]).
+func Series(g *graph.Digraph, states []opinion.State, opts Options) ([]float64, error) {
+	if len(states) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 states, have %d", len(states))
+	}
+	out := make([]float64, len(states)-1)
+	for i := 0; i+1 < len(states); i++ {
+		r, err := Distance(g, states[i], states[i+1], opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: series step %d: %w", i, err)
+		}
+		out[i] = r.SND
+	}
+	return out, nil
+}

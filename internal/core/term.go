@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+
+	"snd/internal/cluster"
+	"snd/internal/emd"
+	"snd/internal/flow"
+	"snd/internal/graph"
+	"snd/internal/opinion"
+	"snd/internal/sssp"
+)
+
+// termSpec identifies one EMD* term of eq. 3: transport the op-opinion
+// mass of supplier state p onto consumer state q under the ground
+// distance derived from reference state ref.
+type termSpec struct {
+	op  opinion.Opinion
+	p   opinion.State
+	q   opinion.State
+	ref opinion.State
+}
+
+// bankGroup is one bank bin of the reduced problem: it attaches to the
+// active (lighter-histogram) users of one cluster and carries
+// units = delta * |members| flow units in the scale-multiplied instance.
+type bankGroup struct {
+	members []int32
+	units   int64
+}
+
+// reduction is the Lemma 1/2-reduced transportation instance of one
+// EMD* term, before engine-specific realization.
+type reduction struct {
+	S, C []int32 // residual suppliers / consumers (opinion changed)
+	// banksOnSupplier is true when the supplier histogram is lighter
+	// (its banks provide the surplus the consumer histogram holds).
+	banksOnSupplier bool
+	banks           []bankGroup
+	scale           int64 // all masses are multiplied by this to stay integral
+	sumP, sumQ      int64
+}
+
+func reduce(spec termSpec, clusters []int, n int) reduction {
+	var r reduction
+	var activeP, activeQ []int32
+	for i := 0; i < n; i++ {
+		pOp := spec.p[i] == spec.op
+		qOp := spec.q[i] == spec.op
+		if pOp {
+			r.sumP++
+			activeP = append(activeP, int32(i))
+		}
+		if qOp {
+			r.sumQ++
+			activeQ = append(activeQ, int32(i))
+		}
+		if pOp && !qOp {
+			r.S = append(r.S, int32(i))
+		} else if qOp && !pOp {
+			r.C = append(r.C, int32(i))
+		}
+	}
+	delta := r.sumP - r.sumQ
+	if delta < 0 {
+		delta = -delta
+	}
+	r.scale = 1
+	if delta == 0 {
+		return r
+	}
+	// Banks attach to the lighter histogram's active users (falling
+	// back to the heavier's when the lighter is empty), grouped by
+	// cluster, with capacity proportional to each cluster's active
+	// mass. Multiplying every mass by the lighter total (the "scale")
+	// turns the per-cluster capacity delta*|members|/total into the
+	// integer delta*|members|.
+	bankBins := activeQ
+	r.banksOnSupplier = r.sumP < r.sumQ
+	if r.banksOnSupplier {
+		bankBins = activeP
+	}
+	if len(bankBins) == 0 {
+		// Lighter histogram empty: distribute over the heavier's bins.
+		if r.banksOnSupplier {
+			bankBins = activeQ
+		} else {
+			bankBins = activeP
+		}
+	}
+	r.scale = int64(len(bankBins))
+	if clusters == nil {
+		r.banks = make([]bankGroup, len(bankBins))
+		for i := range bankBins {
+			r.banks[i] = bankGroup{members: bankBins[i : i+1], units: delta}
+		}
+		return r
+	}
+	byCluster := make(map[int][]int32)
+	for _, v := range bankBins {
+		c := clusters[v]
+		byCluster[c] = append(byCluster[c], v)
+	}
+	for _, members := range byCluster {
+		r.banks = append(r.banks, bankGroup{
+			members: members,
+			units:   delta * int64(len(members)),
+		})
+	}
+	return r
+}
+
+// infCost is the saturated (thresholded) cost for transport between
+// users with no directed path, or whose shortest path would exceed
+// escapeHops maximally-expensive edges (see Options.EscapeHops).
+func infCost(n int, maxEdgeCost int64, escapeHops int) int64 {
+	hops := int64(n + 1)
+	if eh := int64(escapeHops); eh < hops {
+		hops = eh
+	}
+	return hops * maxEdgeCost
+}
+
+// computeTerm evaluates one EMD* term. It returns the term value, the
+// number of SSSP runs performed, and the engine used.
+func computeTerm(g *graph.Digraph, spec termSpec, o Options) (float64, int, Engine, error) {
+	n := g.N()
+	red := reduce(spec, o.Clusters, n)
+	if len(red.S) == 0 && len(red.C) == 0 && len(red.banks) == 0 {
+		return 0, 0, o.Engine, nil
+	}
+	engine := o.Engine
+	if engine == EngineAuto {
+		var arcs int
+		if red.banksOnSupplier {
+			arcs = (len(red.S) + len(red.banks)) * len(red.C)
+		} else {
+			arcs = len(red.S) * (len(red.C) + len(red.banks))
+		}
+		// The bipartite pipeline wins while the reduced instance is
+		// small *relative to the network*: its cost is n-delta SSSP
+		// runs plus a flow over nS*(nC+banks) arcs, while the network
+		// engine pays for cost-scaling over the whole graph. Measured
+		// crossover: reduced instances beyond ~max(1000, n/4) nodes
+		// solve faster by routing through the network (EXPERIMENTS.md).
+		limit := n / 4
+		if limit < 1000 {
+			limit = 1000
+		}
+		if arcs <= o.BipartiteArcLimit && len(red.S)+len(red.C)+len(red.banks) <= limit {
+			engine = EngineBipartite
+		} else {
+			engine = EngineNetwork
+		}
+	}
+	switch engine {
+	case EngineBipartite:
+		v, runs, err := termBipartite(g, spec, red, o)
+		return v, runs, engine, err
+	case EngineNetwork:
+		v, err := termNetwork(g, spec, red, o)
+		return v, 0, engine, err
+	case EngineDense:
+		v, err := termDense(g, spec, o)
+		return v, n, engine, err
+	default:
+		return 0, 0, engine, fmt.Errorf("core: unknown engine %d", engine)
+	}
+}
+
+// termBipartite is the Theorem 4 pipeline: one SSSP per residual
+// supplier (forward) or per residual consumer (reverse, when the banks
+// sit on the supplier side), then an integer min-cost flow over the
+// reduced bipartite instance.
+func termBipartite(g *graph.Digraph, spec termSpec, red reduction, o Options) (float64, int, error) {
+	v, runs, _, _, err := termBipartiteNetwork(g, spec, red, o)
+	return v, runs, err
+}
+
+// termBipartiteNetwork is termBipartite exposing the solved flow
+// network and the user-level meaning of every arc, for Explain.
+func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options) (float64, int, *flow.Network, []arcRef, error) {
+	w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
+	maxCost := o.Costs.MaxCost()
+	inf := infCost(g.N(), maxCost, o.EscapeHops)
+
+	// dist(i, j) below means shortest path from supplier-side entity i
+	// to consumer-side entity j in the ground distance.
+	var srcGraph = g
+	var srcW = w
+	sources := red.S
+	if red.banksOnSupplier {
+		// Reverse runs: dist(x -> c) for every x, per consumer c.
+		srcGraph = g.Reverse()
+		srcW = graph.PermuteToReverse(g, w)
+		sources = red.C
+	}
+	rows := make([][]int64, len(sources))
+	var res sssp.Result
+	for i, s := range sources {
+		sssp.DijkstraInto(srcGraph, srcW, int(s), o.Heap, maxCost, &res)
+		row := make([]int64, len(res.Dist))
+		copy(row, res.Dist)
+		rows[i] = row
+	}
+	capDist := func(d int64) int64 {
+		if d >= sssp.Unreachable || d > inf {
+			return inf
+		}
+		return d
+	}
+	// distSC(i, j): ground distance from red.S[i] to red.C[j].
+	distSC := func(i, j int) int64 {
+		if red.banksOnSupplier {
+			return capDist(rows[j][red.S[i]])
+		}
+		return capDist(rows[i][red.C[j]])
+	}
+	// bankDist(b, k): distance between bank b and the k-th entity on
+	// the opposite side (consumer C[k] when banks supply, supplier S[k]
+	// when banks consume).
+	bankDist := func(b, k int) int64 {
+		best := inf
+		for _, v := range red.banks[b].members {
+			var d int64
+			if red.banksOnSupplier {
+				d = capDist(rows[k][v]) // dist(v -> C[k]) via reverse row of C[k]
+			} else {
+				d = capDist(rows[k][v]) // dist(S[k] -> v) via forward row of S[k]
+			}
+			if d < best {
+				best = d
+			}
+		}
+		return o.Gamma + best
+	}
+
+	// Assemble the bipartite min-cost-flow instance, scaled integral,
+	// recording each arc's user-level meaning for Explain. Bank arcs
+	// are anchored at the bank's first member user.
+	nS, nC, nB := len(red.S), len(red.C), len(red.banks)
+	var nw *flow.Network
+	var arcs []arcRef
+	if red.banksOnSupplier {
+		nw = flow.NewNetwork(nS+nB+nC, (nS+nB)*nC)
+		for i := 0; i < nS; i++ {
+			nw.SetExcess(i, red.scale)
+		}
+		for b := 0; b < nB; b++ {
+			nw.SetExcess(nS+b, red.banks[b].units)
+		}
+		for j := 0; j < nC; j++ {
+			nw.SetExcess(nS+nB+j, -red.scale)
+		}
+		for i := 0; i < nS; i++ {
+			for j := 0; j < nC; j++ {
+				c := distSC(i, j)
+				id := nw.AddArc(i, nS+nB+j, red.scale, c)
+				arcs = append(arcs, arcRef{id: id, from: int(red.S[i]), to: int(red.C[j]), cost: c})
+			}
+		}
+		for b := 0; b < nB; b++ {
+			for j := 0; j < nC; j++ {
+				capacity := red.banks[b].units
+				if red.scale < capacity {
+					capacity = red.scale
+				}
+				c := bankDist(b, j)
+				id := nw.AddArc(nS+b, nS+nB+j, capacity, c)
+				arcs = append(arcs, arcRef{
+					id: id, from: int(red.banks[b].members[0]), fromBank: true,
+					to: int(red.C[j]), cost: c,
+				})
+			}
+		}
+	} else {
+		nw = flow.NewNetwork(nS+nC+nB, nS*(nC+nB))
+		for i := 0; i < nS; i++ {
+			nw.SetExcess(i, red.scale)
+		}
+		for j := 0; j < nC; j++ {
+			nw.SetExcess(nS+j, -red.scale)
+		}
+		for b := 0; b < nB; b++ {
+			nw.SetExcess(nS+nC+b, -red.banks[b].units)
+		}
+		for i := 0; i < nS; i++ {
+			for j := 0; j < nC; j++ {
+				c := distSC(i, j)
+				id := nw.AddArc(i, nS+j, red.scale, c)
+				arcs = append(arcs, arcRef{id: id, from: int(red.S[i]), to: int(red.C[j]), cost: c})
+			}
+			for b := 0; b < nB; b++ {
+				capacity := red.banks[b].units
+				if red.scale < capacity {
+					capacity = red.scale
+				}
+				c := bankDist(b, i)
+				id := nw.AddArc(i, nS+nC+b, capacity, c)
+				arcs = append(arcs, arcRef{
+					id: id, from: int(red.S[i]),
+					to: int(red.banks[b].members[0]), toBank: true, cost: c,
+				})
+			}
+		}
+	}
+	cost, err := solveNetwork(nw, o, inf+o.Gamma, true)
+	if err != nil {
+		return 0, len(sources), nil, nil, err
+	}
+	return float64(cost) / float64(red.scale), len(sources), nw, arcs, nil
+}
+
+// termNetwork routes the reduced instance through the social network
+// itself: graph arcs carry the eq. 2 costs, bank nodes attach to their
+// member users with gamma-cost arcs, and an escape node guarantees
+// feasibility on disconnected graphs at the same saturated cost the
+// bipartite engine uses for unreachable pairs.
+func termNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options) (float64, error) {
+	w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
+	maxCost := o.Costs.MaxCost()
+	inf := infCost(g.N(), maxCost, o.EscapeHops)
+	n := g.N()
+	nB := len(red.banks)
+	escape := n + nB
+	numNodes := n + nB + 1
+
+	totalFlow := int64(len(red.S))*red.scale + bankUnits(red)
+	nw := flow.NewNetwork(numNodes, g.M()+2*numNodes+nB*4)
+	for u := 0; u < n; u++ {
+		lo, hi := g.EdgeRange(u)
+		for e := lo; e < hi; e++ {
+			nw.AddArc(u, int(g.Head(e)), totalFlow, int64(w[e]))
+		}
+	}
+	for b := 0; b < nB; b++ {
+		for _, v := range red.banks[b].members {
+			if red.banksOnSupplier {
+				nw.AddArc(n+b, int(v), totalFlow, o.Gamma)
+			} else {
+				nw.AddArc(int(v), n+b, totalFlow, o.Gamma)
+			}
+		}
+	}
+	// Escape hatch: any stranded unit can travel x -> escape -> y at
+	// exactly infCost, matching the bipartite engine's saturated cost.
+	// Only graph nodes connect to the escape: bank nodes must keep
+	// their gamma arc as the sole entrance/exit, exactly as in the
+	// bipartite ground distance (gamma + capped member distance).
+	half := inf / 2
+	for x := 0; x < n; x++ {
+		nw.AddArc(x, escape, totalFlow, half)
+		nw.AddArc(escape, x, totalFlow, inf-half)
+	}
+	for _, s := range red.S {
+		nw.SetExcess(int(s), red.scale)
+	}
+	for _, c := range red.C {
+		nw.SetExcess(int(c), -red.scale)
+	}
+	for b := 0; b < nB; b++ {
+		if red.banksOnSupplier {
+			nw.SetExcess(n+b, red.banks[b].units)
+		} else {
+			nw.SetExcess(n+b, -red.banks[b].units)
+		}
+	}
+	cost, err := solveNetwork(nw, o, maxCost, false)
+	if err != nil {
+		return 0, err
+	}
+	return float64(cost) / float64(red.scale), nil
+}
+
+func bankUnits(red reduction) int64 {
+	if !red.banksOnSupplier {
+		return 0
+	}
+	var total int64
+	for _, b := range red.banks {
+		total += b.units
+	}
+	return total
+}
+
+// solveNetwork dispatches to the configured min-cost-flow solver.
+// Small bipartite instances default to SSP (few augmentations); large
+// instances and network-routed ones to cost-scaling, which measured
+// ~25x faster on reduced instances with thousands of nodes.
+func solveNetwork(nw *flow.Network, o Options, maxArcCost int64, bipartite bool) (int64, error) {
+	solver := o.Solver
+	if solver == FlowAuto {
+		if bipartite && nw.N() <= 600 {
+			solver = FlowSSP
+		} else {
+			solver = FlowCostScaling
+		}
+	}
+	if solver == FlowSSP {
+		return nw.SolveSSP(o.Heap, maxArcCost)
+	}
+	return nw.SolveCostScaling()
+}
+
+// termDense is the oracle engine: full Johnson all-pairs ground
+// distance plus dense EMD*.
+func termDense(g *graph.Digraph, spec termSpec, o Options) (float64, error) {
+	w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
+	maxCost := o.Costs.MaxCost()
+	inf := infCost(g.N(), maxCost, o.EscapeHops)
+	d := sssp.Johnson(g, w, o.Heap, maxCost)
+	distFn := func(i, j int) float64 {
+		v := d[i][j]
+		if v >= sssp.Unreachable || v > inf {
+			return float64(inf)
+		}
+		return float64(v)
+	}
+	clusters := o.Clusters
+	if clusters == nil {
+		clusters = cluster.Singleton(g.N())
+	}
+	p := spec.p.Histogram(spec.op)
+	q := spec.q.Histogram(spec.op)
+	return emd.Star(p, q, distFn, emd.StarConfig{
+		Clusters:   clusters,
+		GammaFloor: float64(o.Gamma),
+	})
+}

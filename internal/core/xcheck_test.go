@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snd/internal/graph"
+)
+
+func TestEnginesAgreeMedium(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 150 + rng.Intn(150)
+		g := graph.ScaleFree(graph.ScaleFreeConfig{N: n, OutDeg: 5, Exponent: -2.3, Reciprocity: 0.2, Seed: int64(trial)})
+		a := randState(n, 0.2+0.3*rng.Float64(), rng)
+		b := perturb(a, 10+rng.Intn(40), rng)
+		var vals [2]Result
+		for i, engine := range []Engine{EngineBipartite, EngineNetwork} {
+			opts := DefaultOptions()
+			opts.Engine = engine
+			res, err := Distance(g, a, b, opts)
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, engine, err)
+			}
+			vals[i] = res
+		}
+		for k := 0; k < 4; k++ {
+			if math.Abs(vals[0].Terms[k]-vals[1].Terms[k]) > 1e-9*math.Max(1, vals[0].Terms[k]) {
+				t.Errorf("trial %d term %d: bipartite %v != network %v", trial, k, vals[0].Terms[k], vals[1].Terms[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package dataset
+
+import (
+	"testing"
+
+	"snd/internal/opinion"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{Users: 400, AvgDegree: 12, Quarters: 13, Seed: seed}
+}
+
+func TestTwitterShape(t *testing.T) {
+	d := Twitter(smallConfig(1))
+	if d.Graph.N() != 400 {
+		t.Fatalf("N = %d", d.Graph.N())
+	}
+	if len(d.States) != 13 {
+		t.Fatalf("states = %d, want 13", len(d.States))
+	}
+	if len(d.Interest) != 13 || len(d.QuarterLabels) != 13 {
+		t.Fatalf("interest/labels lengths %d/%d", len(d.Interest), len(d.QuarterLabels))
+	}
+	if len(d.Community) != 400 {
+		t.Fatal("community labels missing")
+	}
+	if d.QuarterLabels[0] != "05'08-11'08" {
+		t.Errorf("first label = %q", d.QuarterLabels[0])
+	}
+}
+
+func TestTwitterActivationGrows(t *testing.T) {
+	d := Twitter(smallConfig(2))
+	prev := d.States[0].ActiveCount()
+	if prev == 0 {
+		t.Fatal("no initial adopters")
+	}
+	for q := 1; q < len(d.States); q++ {
+		cur := d.States[q].ActiveCount()
+		if cur < prev {
+			t.Fatalf("quarter %d: activation shrank %d -> %d", q, prev, cur)
+		}
+		prev = cur
+	}
+	last := d.States[len(d.States)-1]
+	if last.Count(opinion.Positive) == 0 || last.Count(opinion.Negative) == 0 {
+		t.Error("final state lost one opinion entirely")
+	}
+}
+
+func TestTwitterTruthAlignsWithEvents(t *testing.T) {
+	d := Twitter(smallConfig(3))
+	truth := d.Truth()
+	if len(truth) != len(d.States)-1 {
+		t.Fatalf("truth length %d", len(truth))
+	}
+	marked := 0
+	for _, e := range d.Events {
+		if e.Quarter >= 1 && e.Quarter < len(d.States) && !truth[e.Quarter-1] {
+			t.Errorf("event %q at quarter %d not marked", e.Name, e.Quarter)
+		}
+	}
+	for _, v := range truth {
+		if v {
+			marked++
+		}
+	}
+	if marked != len(d.Events) {
+		t.Errorf("marked %d transitions, want %d", marked, len(d.Events))
+	}
+}
+
+func TestTwitterEventsMoveInterest(t *testing.T) {
+	d := Twitter(smallConfig(4))
+	base := 0.0
+	for q, v := range d.Interest {
+		isEvent := false
+		for _, e := range d.Events {
+			if e.Quarter == q {
+				isEvent = true
+			}
+		}
+		if !isEvent {
+			if v > base {
+				base = v
+			}
+		}
+	}
+	// Consensus events must spike above the organic interest ceiling.
+	for _, e := range d.Events {
+		if !e.Polarized && d.Interest[e.Quarter] <= base {
+			t.Errorf("event %q interest %v not above organic ceiling %v", e.Name, d.Interest[e.Quarter], base)
+		}
+	}
+}
+
+func TestTwitterConsensusVsPolarizedVolume(t *testing.T) {
+	d := Twitter(smallConfig(5))
+	growth := make([]int, len(d.States)-1)
+	for q := 1; q < len(d.States); q++ {
+		growth[q-1] = d.States[q].ActiveCount() - d.States[q-1].ActiveCount()
+	}
+	// The election (consensus, magnitude .20) must out-grow the ACA
+	// (polarized, magnitude .12): polarized events are pattern
+	// anomalies, not volume anomalies.
+	var electionGrowth, acaGrowth int
+	for _, e := range d.Events {
+		switch e.Name {
+		case "presidential election":
+			electionGrowth = growth[e.Quarter-1]
+		case "Affordable Care Act (Obama Care)":
+			acaGrowth = growth[e.Quarter-1]
+		}
+	}
+	if electionGrowth <= acaGrowth {
+		t.Errorf("election growth %d should exceed ACA growth %d", electionGrowth, acaGrowth)
+	}
+}
+
+func TestTwitterPolarizedAlignsWithCamp(t *testing.T) {
+	d := Twitter(smallConfig(6))
+	// After the full timeline, actives should correlate with camp.
+	last := d.States[len(d.States)-1]
+	aligned, active := 0, 0
+	for u, o := range last {
+		if o == opinion.Neutral {
+			continue
+		}
+		active++
+		camp := opinion.Positive
+		if d.Community[u] == 1 {
+			camp = opinion.Negative
+		}
+		if o == camp {
+			aligned++
+		}
+	}
+	if active == 0 {
+		t.Fatal("no active users")
+	}
+	if frac := float64(aligned) / float64(active); frac < 0.6 {
+		t.Errorf("camp alignment %.2f too weak for a polarized corpus", frac)
+	}
+}
+
+func TestTwitterDeterministic(t *testing.T) {
+	a := Twitter(smallConfig(7))
+	b := Twitter(smallConfig(7))
+	for q := range a.States {
+		if a.States[q].DiffCount(b.States[q]) != 0 {
+			t.Fatalf("quarter %d diverges for identical seeds", q)
+		}
+	}
+	c := Twitter(smallConfig(8))
+	diff := 0
+	for q := range a.States {
+		diff += a.States[q].DiffCount(c.States[q])
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestTwitterCustomEvents(t *testing.T) {
+	events := []Event{{Quarter: 3, Name: "custom", Polarized: true, Magnitude: 0.2}}
+	d := TwitterWithEvents(smallConfig(9), events)
+	truth := d.Truth()
+	if !truth[2] {
+		t.Error("custom event not in truth")
+	}
+	count := 0
+	for _, v := range truth {
+		if v {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("truth marks %d transitions, want 1", count)
+	}
+}

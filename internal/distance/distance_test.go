@@ -1,0 +1,163 @@
+package distance
+
+import (
+	"math"
+	"testing"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+)
+
+func fixtures() (*graph.Digraph, opinion.State, opinion.State) {
+	g := graph.Ring(6)
+	a := opinion.State{opinion.Positive, opinion.Neutral, opinion.Negative, opinion.Neutral, opinion.Neutral, opinion.Neutral}
+	b := opinion.State{opinion.Positive, opinion.Positive, opinion.Negative, opinion.Neutral, opinion.Negative, opinion.Neutral}
+	return g, a, b
+}
+
+func TestHamming(t *testing.T) {
+	_, a, b := fixtures()
+	h := Hamming{N: 6}
+	got, err := h.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("hamming = %v, want 2", got)
+	}
+	if _, err := h.Distance(a[:3], b); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if h.Name() != "hamming" {
+		t.Error("bad name")
+	}
+}
+
+func TestLp(t *testing.T) {
+	_, a, b := fixtures()
+	l1 := Lp{N: 6, P: 1}
+	got, err := l1.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 { // two unit changes (0->1, 0->-1)
+		t.Errorf("l1 = %v, want 2", got)
+	}
+	l2 := Lp{N: 6, P: 2}
+	got, _ = l2.Distance(a, b)
+	if math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("l2 = %v, want sqrt(2)", got)
+	}
+	if _, err := (Lp{N: 6, P: 0.5}).Distance(a, b); err == nil {
+		t.Error("p < 1 accepted")
+	}
+	// Opinion flip +1 -> -1 counts as 2 in l1, unlike hamming's 1.
+	c := a.Clone()
+	c[0] = opinion.Negative
+	got, _ = l1.Distance(a, c)
+	if got != 2 {
+		t.Errorf("flip l1 = %v, want 2", got)
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	g, a, b := fixtures()
+	q := QuadForm{G: g}
+	got, err := q.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Errorf("quad-form = %v, want > 0", got)
+	}
+	same, _ := q.Distance(a, a)
+	if same != 0 {
+		t.Errorf("quad-form identity = %v", same)
+	}
+	// A uniform shift of every coordinate is invisible to the
+	// Laplacian form (it only sees differences across edges).
+	allPos := opinion.NewState(6)
+	allNeg := opinion.NewState(6)
+	for i := range allPos {
+		allPos[i] = opinion.Positive
+		allNeg[i] = opinion.Negative
+	}
+	v, _ := q.Distance(allPos, allNeg)
+	if v != 0 {
+		t.Errorf("uniform shift should be invisible to quad-form, got %v", v)
+	}
+}
+
+func TestWalkDistAndContention(t *testing.T) {
+	g, a, b := fixtures()
+	w := WalkDist{G: g}
+	got, err := w.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 {
+		t.Errorf("walk-dist = %v", got)
+	}
+	if same, _ := w.Distance(b, b); same != 0 {
+		t.Errorf("walk-dist identity = %v", same)
+	}
+	// Contention: a user agreeing with all active in-neighbors has 0;
+	// one opposing them has 2.
+	lineB := graph.NewBuilder(3)
+	lineB.AddEdge(0, 1)
+	lineB.AddEdge(2, 1)
+	lg := lineB.Build()
+	st := opinion.State{opinion.Positive, opinion.Negative, opinion.Positive}
+	c := Contention(lg, st)
+	if c[1] != 2 {
+		t.Errorf("contention of opposing user = %v, want 2", c[1])
+	}
+	if c[0] != 0 { // no in-neighbors
+		t.Errorf("contention without in-neighbors = %v, want 0", c[0])
+	}
+}
+
+func TestCosine(t *testing.T) {
+	c := Cosine{N: 3}
+	a := opinion.State{opinion.Positive, opinion.Negative, opinion.Neutral}
+	if d, _ := c.Distance(a, a); math.Abs(d) > 1e-12 {
+		t.Errorf("cosine identity = %v", d)
+	}
+	b := opinion.State{opinion.Negative, opinion.Positive, opinion.Neutral}
+	if d, _ := c.Distance(a, b); math.Abs(d-2) > 1e-12 {
+		t.Errorf("cosine of opposite = %v, want 2", d)
+	}
+	z := opinion.NewState(3)
+	if d, _ := c.Distance(z, z); d != 0 {
+		t.Errorf("cosine of zeros = %v", d)
+	}
+	if d, _ := c.Distance(z, a); d != 1 {
+		t.Errorf("cosine zero-vs-active = %v, want 1", d)
+	}
+}
+
+func TestCanberra(t *testing.T) {
+	c := Canberra{N: 3}
+	a := opinion.State{opinion.Positive, opinion.Neutral, opinion.Neutral}
+	b := opinion.State{opinion.Negative, opinion.Positive, opinion.Neutral}
+	got, err := c.Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coord 0: |1-(-1)|/2 = 1; coord 1: |0-1|/1 = 1; coord 2 skipped.
+	if got != 2 {
+		t.Errorf("canberra = %v, want 2", got)
+	}
+}
+
+func TestAllMeasuresDistinctNames(t *testing.T) {
+	g, _, _ := fixtures()
+	ms := []Measure{Hamming{N: 6}, Lp{N: 6, P: 1}, QuadForm{G: g}, WalkDist{G: g}, Cosine{N: 6}, Canberra{N: 6}}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name()] {
+			t.Errorf("duplicate name %q", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}

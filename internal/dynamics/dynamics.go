@@ -1,0 +1,278 @@
+// Package dynamics simulates the opinion-evolution processes used by
+// the paper's experiments:
+//
+//   - Evolution: the Section 6.1 synthetic process. Neutral users get a
+//     chance to activate each step: with probability Pnbr they adopt an
+//     opinion from their active in-neighbors by probabilistic voting,
+//     and with probability Pext they adopt a uniformly random opinion
+//     (the "external source"). Anomalies are simulated by shifting
+//     probability mass between Pnbr and Pext while preserving their sum,
+//     changing *how* users activate without changing how many do — the
+//     anomaly class coordinate-wise distance measures cannot see.
+//
+//   - ICCStep: one round of the distance-based Independent Cascade
+//     model with Competition (Carnes et al.), generating the "normal"
+//     transitions of Section 6.4.
+//
+//   - RandomStep: the matching "anomalous" transition, activating the
+//     same number of users at structure-blind random locations.
+//
+// All processes are deterministic for a fixed seed.
+package dynamics
+
+import (
+	"math/rand"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+)
+
+// Evolution is the Section 6.1 synthetic opinion process.
+type Evolution struct {
+	g     *graph.Digraph
+	rev   *graph.Digraph
+	rng   *rand.Rand
+	state opinion.State
+}
+
+// NewEvolution seeds the process with initialAdopters random users,
+// approximately half positive and half negative.
+func NewEvolution(g *graph.Digraph, initialAdopters int, seed int64) *Evolution {
+	rng := rand.New(rand.NewSource(seed))
+	st := opinion.NewState(g.N())
+	perm := rng.Perm(g.N())
+	if initialAdopters > g.N() {
+		initialAdopters = g.N()
+	}
+	for i := 0; i < initialAdopters; i++ {
+		if i%2 == 0 {
+			st[perm[i]] = opinion.Positive
+		} else {
+			st[perm[i]] = opinion.Negative
+		}
+	}
+	return &Evolution{g: g, rev: g.Reverse(), rng: rng, state: st}
+}
+
+// State returns a copy of the current network state.
+func (e *Evolution) State() opinion.State { return e.state.Clone() }
+
+// Step advances the process one tick: every neutral user activates
+// from the neighborhood with probability pnbr (probabilistic voting
+// over active in-neighbors) or from the external source with
+// probability pext (uniformly random opinion). Active users keep their
+// opinions. It returns a copy of the new state.
+func (e *Evolution) Step(pnbr, pext float64) opinion.State {
+	next := e.state.Clone()
+	for v := range e.state {
+		if e.state[v] != opinion.Neutral {
+			continue
+		}
+		r := e.rng.Float64()
+		switch {
+		case r < pnbr:
+			if op, ok := e.voteInNeighbors(v); ok {
+				next[v] = op
+			}
+		case r < pnbr+pext:
+			if e.rng.Intn(2) == 0 {
+				next[v] = opinion.Positive
+			} else {
+				next[v] = opinion.Negative
+			}
+		}
+	}
+	e.state = next
+	return next.Clone()
+}
+
+// StepSample advances the process one tick giving exactly `tries`
+// uniformly-sampled neutral users a chance to activate — the paper's
+// "a number of G_i's neutral users get a chance to be activated" read
+// literally, which keeps activation growth linear instead of
+// saturating exponentially. Each sampled user adopts from the
+// neighborhood with probability pnbr (a no-op when it has no active
+// in-neighbor) and a random opinion from the external source with
+// probability pext. Shifting probability mass from pnbr to pext mostly
+// changes *where* activations land, which is the Section 6.2 anomaly
+// class.
+func (e *Evolution) StepSample(tries int, pnbr, pext float64) opinion.State {
+	next := e.state.Clone()
+	neutral := make([]int, 0, len(e.state))
+	for v, o := range e.state {
+		if o == opinion.Neutral {
+			neutral = append(neutral, v)
+		}
+	}
+	e.rng.Shuffle(len(neutral), func(i, j int) { neutral[i], neutral[j] = neutral[j], neutral[i] })
+	if tries > len(neutral) {
+		tries = len(neutral)
+	}
+	for _, v := range neutral[:tries] {
+		r := e.rng.Float64()
+		switch {
+		case r < pnbr:
+			if op, ok := e.voteInNeighbors(v); ok {
+				next[v] = op
+			}
+		case r < pnbr+pext:
+			next[v] = e.randomOpinion()
+		}
+	}
+	e.state = next
+	return next.Clone()
+}
+
+// Inject activates count uniformly random neutral users with random
+// opinions in the current state — an external-source burst. It returns
+// a copy of the new state.
+func (e *Evolution) Inject(count int) opinion.State {
+	next, _ := RandomStep(e.g, e.state, count, e.rng)
+	e.state = next
+	return next.Clone()
+}
+
+func (e *Evolution) randomOpinion() opinion.Opinion {
+	if e.rng.Intn(2) == 0 {
+		return opinion.Positive
+	}
+	return opinion.Negative
+}
+
+// voteInNeighbors picks an opinion proportionally to the counts of
+// active in-neighbors of each kind; ok is false when v has none.
+func (e *Evolution) voteInNeighbors(v int) (opinion.Opinion, bool) {
+	pos, neg := 0, 0
+	for _, u := range e.rev.Out(v) {
+		switch e.state[u] {
+		case opinion.Positive:
+			pos++
+		case opinion.Negative:
+			neg++
+		}
+	}
+	total := pos + neg
+	if total == 0 {
+		return opinion.Neutral, false
+	}
+	if e.rng.Intn(total) < pos {
+		return opinion.Positive, true
+	}
+	return opinion.Negative, true
+}
+
+// GenerateSeries runs the evolution for steps ticks and returns the
+// state after each tick (the initial state is not included). Each
+// tick's (pnbr, pext) pair comes from params, which is cycled if
+// shorter than steps.
+func (e *Evolution) GenerateSeries(steps int, params []StepParams) []opinion.State {
+	if len(params) == 0 {
+		params = []StepParams{{Pnbr: 0.1, Pext: 0.01}}
+	}
+	out := make([]opinion.State, 0, steps)
+	for i := 0; i < steps; i++ {
+		p := params[i%len(params)]
+		out = append(out, e.Step(p.Pnbr, p.Pext))
+	}
+	return out
+}
+
+// StepParams is one tick's activation probabilities.
+type StepParams struct {
+	Pnbr float64
+	Pext float64
+}
+
+// ICCStep runs one round of the competitive Independent Cascade model:
+// every active user independently attempts to activate each neutral
+// out-neighbor with probability edgeProb; a neutral user reached by
+// several successful attempts adopts one attacker's opinion uniformly
+// at random (the symmetric tie-break of the distance-based model with
+// unit edge distances). Returns the new state and the number of new
+// activations.
+func ICCStep(g *graph.Digraph, st opinion.State, edgeProb float64, rng *rand.Rand) (opinion.State, int) {
+	next := st.Clone()
+	activated := 0
+	rev := g.Reverse()
+	for v := range st {
+		if st[v] != opinion.Neutral {
+			continue
+		}
+		var attackers []opinion.Opinion
+		for _, u := range rev.Out(v) {
+			if st[u] != opinion.Neutral && rng.Float64() < edgeProb {
+				attackers = append(attackers, st[u])
+			}
+		}
+		if len(attackers) == 0 {
+			continue
+		}
+		next[v] = attackers[rng.Intn(len(attackers))]
+		activated++
+	}
+	return next, activated
+}
+
+// RandomStep activates count uniformly random neutral users with
+// uniformly random opinions — the structure-blind anomalous transition
+// of Section 6.4. It returns the new state and the number actually
+// activated (less than count when too few neutral users remain).
+func RandomStep(g *graph.Digraph, st opinion.State, count int, rng *rand.Rand) (opinion.State, int) {
+	next := st.Clone()
+	neutral := make([]int, 0, len(st))
+	for v, o := range st {
+		if o == opinion.Neutral {
+			neutral = append(neutral, v)
+		}
+	}
+	rng.Shuffle(len(neutral), func(i, j int) { neutral[i], neutral[j] = neutral[j], neutral[i] })
+	if count > len(neutral) {
+		count = len(neutral)
+	}
+	for _, v := range neutral[:count] {
+		if rng.Intn(2) == 0 {
+			next[v] = opinion.Positive
+		} else {
+			next[v] = opinion.Negative
+		}
+	}
+	return next, count
+}
+
+// TransitionPair is one (before, after) state pair labelled with how
+// it was generated, for the Fig. 10 separation experiment.
+type TransitionPair struct {
+	Before, After opinion.State
+	NDelta        int
+	Anomalous     bool
+}
+
+// GenerateTransitions produces pairs of states over g: `pairs` normal
+// transitions generated by ICC cascades and `pairs` anomalous ones with
+// a matching number of random activations, so the two classes differ
+// only in *where* activations happen. Each pair starts from a fresh
+// base whose opinion mass has grown into localized blobs by a few
+// neighbor-driven ticks — uniformly random mass would leave nothing for
+// placement-sensitivity to detect.
+func GenerateTransitions(g *graph.Digraph, pairs, initialAdopters int, edgeProb float64, seed int64) []TransitionPair {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]TransitionPair, 0, 2*pairs)
+	for k := 0; k < pairs; k++ {
+		ev := NewEvolution(g, initialAdopters/4+1, rng.Int63())
+		for b := 0; b < 4+int(rng.Int63n(4)); b++ {
+			ev.StepSample(g.N()/10, 0.3, 0.01)
+		}
+		base := ev.State()
+		normal, activated := ICCStep(g, base, edgeProb, rng)
+		out = append(out, TransitionPair{
+			Before: base, After: normal,
+			NDelta: base.DiffCount(normal), Anomalous: false,
+		})
+		anomalous, _ := RandomStep(g, base, activated, rng)
+		out = append(out, TransitionPair{
+			Before: base, After: anomalous,
+			NDelta: base.DiffCount(anomalous), Anomalous: true,
+		})
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+)
+
+func TestNewEvolutionBalancedSeeds(t *testing.T) {
+	g := graph.ErdosRenyi(200, 1200, 1)
+	ev := NewEvolution(g, 50, 7)
+	st := ev.State()
+	pos, neg := st.Count(opinion.Positive), st.Count(opinion.Negative)
+	if pos+neg != 50 {
+		t.Fatalf("active = %d, want 50", pos+neg)
+	}
+	if d := pos - neg; d < -1 || d > 1 {
+		t.Errorf("pos=%d neg=%d: want approximately equal", pos, neg)
+	}
+	// Requesting more adopters than users must clamp.
+	ev2 := NewEvolution(graph.Ring(4), 100, 1)
+	if got := ev2.State().ActiveCount(); got != 4 {
+		t.Errorf("clamped adopters = %d, want 4", got)
+	}
+}
+
+func TestEvolutionMonotoneActivation(t *testing.T) {
+	g := graph.ScaleFree(graph.ScaleFreeConfig{N: 500, OutDeg: 4, Exponent: -2.3, Seed: 2})
+	ev := NewEvolution(g, 40, 3)
+	prev := ev.State()
+	for i := 0; i < 5; i++ {
+		next := ev.Step(0.2, 0.02)
+		if next.ActiveCount() < prev.ActiveCount() {
+			t.Fatalf("step %d: activation decreased %d -> %d", i, prev.ActiveCount(), next.ActiveCount())
+		}
+		// Active users never change opinion under this process.
+		for u := range prev {
+			if prev[u] != opinion.Neutral && next[u] != prev[u] {
+				t.Fatalf("step %d: active user %d flipped", i, u)
+			}
+		}
+		prev = next
+	}
+}
+
+func TestEvolutionDeterministic(t *testing.T) {
+	g := graph.ErdosRenyi(100, 600, 4)
+	a := NewEvolution(g, 20, 99).GenerateSeries(4, []StepParams{{Pnbr: 0.1, Pext: 0.05}})
+	b := NewEvolution(g, 20, 99).GenerateSeries(4, []StepParams{{Pnbr: 0.1, Pext: 0.05}})
+	for i := range a {
+		if a[i].DiffCount(b[i]) != 0 {
+			t.Fatalf("series diverge at step %d", i)
+		}
+	}
+}
+
+func TestEvolutionExternalVsNeighbor(t *testing.T) {
+	// With pure neighbor adoption, users without active in-neighbors
+	// never activate; with pure external adoption, they can.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1) // 2 is isolated
+	g := b.Build()
+	mk := func(pnbr, pext float64, seed int64) opinion.State {
+		ev := NewEvolution(g, 0, seed)
+		// Manually seed user 0.
+		ev.state[0] = opinion.Positive
+		var last opinion.State
+		for i := 0; i < 30; i++ {
+			last = ev.Step(pnbr, pext)
+		}
+		return last
+	}
+	nbrOnly := mk(1.0, 0, 5)
+	if nbrOnly[2] != opinion.Neutral {
+		t.Error("isolated user activated via neighbors")
+	}
+	if nbrOnly[1] != opinion.Positive {
+		t.Error("user 1 should adopt from its only active in-neighbor")
+	}
+	extOnly := mk(0, 1.0, 6)
+	if extOnly[2] == opinion.Neutral {
+		t.Error("external source never activated the isolated user in 30 steps")
+	}
+}
+
+func TestGenerateSeriesCyclesParams(t *testing.T) {
+	g := graph.ErdosRenyi(50, 300, 8)
+	ev := NewEvolution(g, 10, 11)
+	series := ev.GenerateSeries(4, []StepParams{{Pnbr: 0.3, Pext: 0.1}, {Pnbr: 0.0, Pext: 0.0}})
+	if len(series) != 4 {
+		t.Fatalf("len = %d", len(series))
+	}
+	// Steps 1 and 3 use zero probabilities: no changes.
+	if series[0].DiffCount(series[1]) != 0 {
+		t.Error("zero-probability step changed the state")
+	}
+	// Defaults when params empty.
+	if got := ev.GenerateSeries(2, nil); len(got) != 2 {
+		t.Error("empty params should fall back to defaults")
+	}
+}
+
+func TestICCStep(t *testing.T) {
+	g := graph.Ring(10)
+	st := opinion.NewState(10)
+	st[0] = opinion.Positive
+	rng := rand.New(rand.NewSource(1))
+	next, activated := ICCStep(g, st, 1.0, rng)
+	// With probability 1, exactly the two ring neighbors activate.
+	if activated != 2 {
+		t.Fatalf("activated = %d, want 2", activated)
+	}
+	if next[1] != opinion.Positive || next[9] != opinion.Positive {
+		t.Errorf("neighbors should adopt +: %v", next)
+	}
+	if next[0] != opinion.Positive {
+		t.Error("seed lost its opinion")
+	}
+	// Zero probability: nothing happens.
+	_, activated = ICCStep(g, st, 0, rng)
+	if activated != 0 {
+		t.Errorf("p=0 activated %d", activated)
+	}
+}
+
+func TestICCCompetition(t *testing.T) {
+	// User 2 is contested by + (user 0) and - (user 1); over many runs
+	// both opinions win sometimes.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	st := opinion.State{opinion.Positive, opinion.Negative, opinion.Neutral}
+	rng := rand.New(rand.NewSource(3))
+	var pos, neg int
+	for i := 0; i < 200; i++ {
+		next, _ := ICCStep(g, st, 1.0, rng)
+		switch next[2] {
+		case opinion.Positive:
+			pos++
+		case opinion.Negative:
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Errorf("competition never flips: pos=%d neg=%d", pos, neg)
+	}
+}
+
+func TestRandomStep(t *testing.T) {
+	g := graph.Ring(20)
+	st := opinion.NewState(20)
+	st[0] = opinion.Positive
+	rng := rand.New(rand.NewSource(5))
+	next, activated := RandomStep(g, st, 5, rng)
+	if activated != 5 {
+		t.Fatalf("activated = %d, want 5", activated)
+	}
+	if next.ActiveCount() != 6 {
+		t.Errorf("active = %d, want 6", next.ActiveCount())
+	}
+	// Requesting more than available clamps.
+	_, activated = RandomStep(g, st, 100, rng)
+	if activated != 19 {
+		t.Errorf("clamped activation = %d, want 19", activated)
+	}
+}
+
+func TestGenerateTransitions(t *testing.T) {
+	g := graph.ScaleFree(graph.ScaleFreeConfig{N: 300, OutDeg: 4, Exponent: -2.3, Seed: 4})
+	pairs := GenerateTransitions(g, 5, 30, 0.4, 9)
+	if len(pairs) != 10 {
+		t.Fatalf("pairs = %d, want 10", len(pairs))
+	}
+	for i, p := range pairs {
+		if p.NDelta != p.Before.DiffCount(p.After) {
+			t.Errorf("pair %d: NDelta mismatch", i)
+		}
+		if i%2 == 0 && p.Anomalous {
+			t.Errorf("pair %d should be normal", i)
+		}
+		if i%2 == 1 && !p.Anomalous {
+			t.Errorf("pair %d should be anomalous", i)
+		}
+	}
+	// Matched activation counts: anomalous NDelta equals its normal
+	// sibling's (RandomStep activates the same number ICC did).
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if pairs[i].NDelta != pairs[i+1].NDelta {
+			t.Errorf("pair %d: normal NDelta %d != anomalous %d", i, pairs[i].NDelta, pairs[i+1].NDelta)
+		}
+	}
+}

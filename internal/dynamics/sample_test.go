@@ -1,0 +1,89 @@
+package dynamics
+
+import (
+	"testing"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+)
+
+func TestStepSampleBoundsVolume(t *testing.T) {
+	g := graph.ErdosRenyi(500, 4000, 1)
+	ev := NewEvolution(g, 50, 2)
+	prev := ev.State()
+	next := ev.StepSample(100, 1.0, 0)
+	// At pnbr=1 every sampled user with an active in-neighbor
+	// activates: changes are bounded by the sample size.
+	if d := prev.DiffCount(next); d > 100 {
+		t.Errorf("changes %d exceed sample size 100", d)
+	}
+	// Active users never change under StepSample.
+	for u := range prev {
+		if prev[u] != opinion.Neutral && next[u] != prev[u] {
+			t.Fatalf("active user %d changed", u)
+		}
+	}
+}
+
+func TestStepSampleExternalChannel(t *testing.T) {
+	// Isolated nodes can only activate via the external channel.
+	b := graph.NewBuilder(50)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	ev := NewEvolution(g, 0, 3)
+	var last opinion.State
+	for i := 0; i < 40; i++ {
+		last = ev.StepSample(50, 0, 0.5)
+	}
+	if last.ActiveCount() == 0 {
+		t.Error("external channel never activated anyone")
+	}
+	// Pure neighbor channel on an empty state is a no-op.
+	ev2 := NewEvolution(g, 0, 4)
+	st := ev2.StepSample(50, 1.0, 0)
+	if st.ActiveCount() != 0 {
+		t.Error("neighbor channel activated users without active neighbors")
+	}
+}
+
+func TestStepSampleClampsTries(t *testing.T) {
+	g := graph.Ring(10)
+	ev := NewEvolution(g, 8, 5)
+	// Only 2 neutral users remain; a big sample must not panic.
+	st := ev.StepSample(100, 0.5, 0.5)
+	if st.ActiveCount() < 8 {
+		t.Error("lost active users")
+	}
+}
+
+func TestInject(t *testing.T) {
+	g := graph.Ring(30)
+	ev := NewEvolution(g, 5, 6)
+	before := ev.State()
+	after := ev.Inject(7)
+	if got := after.ActiveCount() - before.ActiveCount(); got != 7 {
+		t.Errorf("Inject activated %d, want 7", got)
+	}
+	// Injection must persist in the evolution's own state.
+	if ev.State().ActiveCount() != after.ActiveCount() {
+		t.Error("Inject did not advance the internal state")
+	}
+	// Over-injection clamps at the neutral count.
+	big := ev.Inject(1000)
+	if big.ActiveCount() != 30 {
+		t.Errorf("over-injection left %d active, want all 30", big.ActiveCount())
+	}
+}
+
+func TestStepSampleDeterministic(t *testing.T) {
+	g := graph.ErdosRenyi(200, 1600, 7)
+	a := NewEvolution(g, 20, 9)
+	b2 := NewEvolution(g, 20, 9)
+	for i := 0; i < 5; i++ {
+		x := a.StepSample(40, 0.3, 0.05)
+		y := b2.StepSample(40, 0.3, 0.05)
+		if x.DiffCount(y) != 0 {
+			t.Fatalf("step %d diverged for identical seeds", i)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package flow
+
+import "fmt"
+
+// SolveCostScaling routes all declared excess with Goldberg-Tarjan
+// cost-scaling push-relabel — the algorithm behind the CS2 solver used
+// by the paper's released implementation. Arc costs may be any int64;
+// capacities and excesses must be integers (they are, throughout the
+// SND pipeline, after the mass scaling described in package emd).
+//
+// The implementation multiplies costs by (n+1) and halves epsilon each
+// refine round until epsilon < 1, at which point the epsilon-optimal
+// flow is optimal. Within a refine, admissible arcs (residual arcs with
+// negative reduced cost) are saturated first and remaining excesses are
+// drained by FIFO push/relabel.
+func (nw *Network) SolveCostScaling() (int64, error) {
+	supply, demand := nw.totalSupply()
+	if supply != demand {
+		return 0, fmt.Errorf("flow: unbalanced network: supply %d != demand %d", supply, demand)
+	}
+	n := nw.numNodes
+	scale := int64(n + 1)
+	// Scaled costs; prices live in the scaled domain too.
+	scost := make([]int64, len(nw.cost))
+	var eps int64 = 1
+	for a, c := range nw.cost {
+		sc := c * scale
+		scost[a] = sc
+		if sc > eps {
+			eps = sc
+		} else if -sc > eps {
+			eps = -sc
+		}
+	}
+	price := make([]int64, n)
+	ex := append([]int64(nil), nw.excess...)
+
+	queue := make([]int32, 0, n)
+	inQueue := make([]bool, n)
+	// current-arc pointers for the arc heuristic
+	cur := make([]int32, n)
+
+	relabelBudget := int64(0)
+	for eps >= 1 {
+		// Saturate every admissible arc to establish eps/..-optimality.
+		for v := 0; v < n; v++ {
+			for a := nw.firstArc[v]; a >= 0; a = nw.nextArc[a] {
+				if nw.res[a] <= 0 {
+					continue
+				}
+				w := int(nw.to[a])
+				if scost[a]+price[v]-price[w] < 0 {
+					amt := nw.res[a]
+					nw.res[a] = 0
+					nw.res[a^1] += amt
+					ex[v] -= amt
+					ex[w] += amt
+				}
+			}
+		}
+		queue = queue[:0]
+		for v := 0; v < n; v++ {
+			cur[v] = nw.firstArc[v]
+			inQueue[v] = false
+			if ex[v] > 0 {
+				queue = append(queue, int32(v))
+				inQueue[v] = true
+			}
+		}
+		// FIFO push/relabel loop.
+		relabelBudget = 8 * int64(n) * int64(n) * 4 // safety net, far above the O(n^2) relabels per refine
+		for len(queue) > 0 {
+			v := int(queue[0])
+			queue = queue[1:]
+			inQueue[v] = false
+			for ex[v] > 0 {
+				a := cur[v]
+				if a < 0 {
+					// Relabel: lower price(v) to make some residual
+					// arc admissible.
+					if relabelBudget--; relabelBudget < 0 {
+						return 0, fmt.Errorf("flow: cost-scaling relabel budget exhausted (infeasible instance?)")
+					}
+					best := int64(-1 << 62)
+					found := false
+					for b := nw.firstArc[v]; b >= 0; b = nw.nextArc[b] {
+						if nw.res[b] <= 0 {
+							continue
+						}
+						w := int(nw.to[b])
+						if cand := price[w] - scost[b]; cand > best {
+							best = cand
+							found = true
+						}
+					}
+					if !found {
+						return 0, fmt.Errorf("flow: infeasible: node %d has excess %d and no residual arcs", v, ex[v])
+					}
+					price[v] = best - eps
+					cur[v] = nw.firstArc[v]
+					continue
+				}
+				if nw.res[a] > 0 {
+					w := int(nw.to[a])
+					if scost[a]+price[v]-price[w] < 0 {
+						// Push.
+						amt := ex[v]
+						if nw.res[a] < amt {
+							amt = nw.res[a]
+						}
+						nw.res[a] -= amt
+						nw.res[a^1] += amt
+						ex[v] -= amt
+						wHadNoExcess := ex[w] <= 0
+						ex[w] += amt
+						if wHadNoExcess && ex[w] > 0 && !inQueue[w] {
+							queue = append(queue, nw.to[a])
+							inQueue[w] = true
+						}
+						continue
+					}
+				}
+				cur[v] = nw.nextArc[a]
+			}
+		}
+		if eps == 1 {
+			break
+		}
+		eps /= 2
+	}
+	copy(nw.price, price)
+	return nw.TotalCost(), nil
+}

@@ -1,0 +1,82 @@
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// ValidatePlan checks that a plan is a feasible solution of the dense
+// problem: non-negative moves, row sums equal supplies, column sums
+// equal demands (within tolerance). It returns a descriptive error on
+// the first violation.
+func ValidatePlan(p Dense, plan Plan) error {
+	rows := make([]float64, len(p.Supply))
+	cols := make([]float64, len(p.Demand))
+	for _, mv := range plan.Moves {
+		if mv.Amount < -Eps {
+			return fmt.Errorf("flow: negative move %+v", mv)
+		}
+		if mv.From < 0 || mv.From >= len(rows) || mv.To < 0 || mv.To >= len(cols) {
+			return fmt.Errorf("flow: move out of range %+v", mv)
+		}
+		rows[mv.From] += mv.Amount
+		cols[mv.To] += mv.Amount
+	}
+	tol := 1e-6 * math.Max(1, plan.Flow)
+	for i, got := range rows {
+		if math.Abs(got-p.Supply[i]) > tol {
+			return fmt.Errorf("flow: supplier %d ships %v, supply is %v", i, got, p.Supply[i])
+		}
+	}
+	for j, got := range cols {
+		if math.Abs(got-p.Demand[j]) > tol {
+			return fmt.Errorf("flow: consumer %d receives %v, demand is %v", j, got, p.Demand[j])
+		}
+	}
+	return nil
+}
+
+// Balance pads an unbalanced supply/demand pair with a zero-cost slack
+// bin on whichever side is short, returning the padded Dense problem
+// and which kind of slack bin (if any) was added.
+//
+// This implements the standard reduction of the *partial* transportation
+// problem underlying the original EMD (eq. 1), where only
+// min(sum P, sum Q) mass must move: the heavier side's surplus drains
+// into the slack bin at zero cost.
+func Balance(supply, demand []float64, cost func(i, j int) float64) (p Dense, slackSupplier, slackConsumer bool) {
+	var s, d float64
+	for _, v := range supply {
+		s += v
+	}
+	for _, v := range demand {
+		d += v
+	}
+	p = Dense{Supply: supply, Demand: demand, Cost: cost}
+	switch {
+	case s > d+Eps:
+		// Extra consumer absorbing the surplus at zero cost.
+		nd := append(append([]float64(nil), demand...), s-d)
+		t := len(demand)
+		p.Demand = nd
+		p.Cost = func(i, j int) float64 {
+			if j == t {
+				return 0
+			}
+			return cost(i, j)
+		}
+		slackConsumer = true
+	case d > s+Eps:
+		ns := append(append([]float64(nil), supply...), d-s)
+		sN := len(supply)
+		p.Supply = ns
+		p.Cost = func(i, j int) float64 {
+			if i == sN {
+				return 0
+			}
+			return cost(i, j)
+		}
+		slackSupplier = true
+	}
+	return p, slackSupplier, slackConsumer
+}

@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ScaleFreeConfig parameterizes the scale-free generator. The paper's
+// synthetic experiments use networks with 10k-200k nodes and scale-free
+// (in-degree) exponents between -2.9 and -2.1.
+type ScaleFreeConfig struct {
+	N        int     // number of nodes
+	OutDeg   int     // out-edges created by each arriving node
+	Exponent float64 // target in-degree power-law exponent, e.g. -2.3 (sign ignored)
+	// Reciprocity is the probability that a created edge u->v also adds
+	// v->u, approximating the mutual-follow rate of real social graphs.
+	Reciprocity float64
+	Seed        int64
+}
+
+// ScaleFree generates a directed scale-free follower network via the
+// edge-copy (redirection) model: each arriving node follows OutDeg
+// accounts, picking each either by copying a uniformly random existing
+// follow (attaching proportionally to follower count) or uniformly at
+// random. The copy probability r yields a follower-count exponent
+// gamma = 1 + 1/r, so r = 1/(gamma-1) targets the requested exponent
+// (Krapivsky-Redner).
+//
+// Edges are oriented for information flow: when the arriving node u
+// follows account v, the edge v->u is added (v's posts reach u), so
+// popular accounts have heavy-tailed out-degree and every node has
+// ~OutDeg in-edges. Reciprocity adds the reverse edge.
+func ScaleFree(cfg ScaleFreeConfig) *Digraph {
+	n, k := cfg.N, cfg.OutDeg
+	if n < 2 {
+		panic("graph: ScaleFree needs N >= 2")
+	}
+	if k < 1 {
+		k = 1
+	}
+	gamma := cfg.Exponent
+	if gamma < 0 {
+		gamma = -gamma
+	}
+	if gamma <= 1.01 {
+		gamma = 1.01
+	}
+	r := 1 / (gamma - 1)
+	if r > 1 {
+		r = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := NewBuilder(n)
+	// followed records whom each existing follow points at, for O(1)
+	// proportional-to-popularity copying.
+	followed := make([]int32, 0, n*k)
+	// follow makes u follow v: edge v->u (v's posts reach u).
+	follow := func(u, v int) {
+		if u == v {
+			return
+		}
+		b.AddEdge(v, u)
+		followed = append(followed, int32(v))
+		if cfg.Reciprocity > 0 && rng.Float64() < cfg.Reciprocity {
+			b.AddEdge(u, v)
+			followed = append(followed, int32(u))
+		}
+	}
+	// Seed clique among the first k+1 nodes so copying has material.
+	seedSize := k + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for u := 0; u < seedSize; u++ {
+		for v := 0; v < seedSize; v++ {
+			if u != v {
+				follow(u, v)
+			}
+		}
+	}
+	for u := seedSize; u < n; u++ {
+		for e := 0; e < k; e++ {
+			var v int
+			if len(followed) > 0 && rng.Float64() < r {
+				v = int(followed[rng.Intn(len(followed))])
+			} else {
+				v = rng.Intn(u)
+			}
+			follow(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// ErdosRenyi generates a directed G(n, m) graph with m edges sampled
+// uniformly without replacement (via rejection on duplicates).
+func ErdosRenyi(n, m int, seed int64) *Digraph {
+	if maxM := n * (n - 1); m > maxM {
+		panic(fmt.Sprintf("graph: ErdosRenyi m=%d exceeds n(n-1)=%d", m, maxM))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	seen := make(map[int64]bool, m)
+	for added := 0; added < m; {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+		added++
+	}
+	return b.Build()
+}
+
+// PlantedPartitionConfig parameterizes PlantedPartition.
+type PlantedPartitionConfig struct {
+	N           int     // nodes, split evenly across K communities
+	K           int     // number of communities
+	AvgInDeg    float64 // expected total in-degree per node
+	IntraFrac   float64 // fraction of a node's edges that stay inside its community
+	Reciprocity float64 // probability of adding the reciprocal edge
+	Seed        int64
+}
+
+// PlantedPartition generates a directed community-structured graph: K
+// equal communities where each node draws ~AvgInDeg incoming edges,
+// IntraFrac of them from its own community. It is the substrate of the
+// synthetic Twitter dataset (two polarizable camps) and of the Fig. 5
+// cluster scenarios.
+func PlantedPartition(cfg PlantedPartitionConfig) *Digraph {
+	n, k := cfg.N, cfg.K
+	if k < 1 {
+		k = 1
+	}
+	if n < k {
+		panic("graph: PlantedPartition needs N >= K")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := NewBuilder(n)
+	commOf := func(u int) int { return u * k / n }
+	commBounds := func(c int) (lo, hi int) { return c * n / k, (c + 1) * n / k }
+	edges := int(cfg.AvgInDeg * float64(n) / 2) // each iteration adds ~2 edges on average via reciprocity+pairing
+	if edges < n {
+		edges = n
+	}
+	for i := 0; i < edges; i++ {
+		v := rng.Intn(n)
+		var u int
+		if rng.Float64() < cfg.IntraFrac {
+			lo, hi := commBounds(commOf(v))
+			u = lo + rng.Intn(hi-lo)
+		} else {
+			u = rng.Intn(n)
+		}
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		if rng.Float64() < cfg.Reciprocity {
+			b.AddEdge(v, u)
+		} else {
+			// Keep density at ~AvgInDeg: add an independent edge.
+			w := rng.Intn(n)
+			if w != v {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Community returns the community id of node u under the equal-split
+// labeling used by PlantedPartition with K communities over n nodes.
+func Community(u, n, k int) int { return u * k / n }
+
+// Ring returns a directed cycle 0->1->...->n-1->0 plus the reverse
+// cycle, useful as a deterministic fixture.
+func Ring(n int) *Digraph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		b.AddEdge(u, (u+1)%n)
+		b.AddEdge((u+1)%n, u)
+	}
+	return b.Build()
+}
+
+// Grid returns a bidirected w x h grid graph (4-neighborhood).
+func Grid(w, h int) *Digraph {
+	n := w * h
+	b := NewBuilder(n)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+				b.AddEdge(id(x+1, y), id(x, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+				b.AddEdge(id(x, y+1), id(x, y))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Complete returns the complete digraph on n nodes (for tiny fixtures).
+func Complete(n int) *Digraph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,206 @@
+// Package graph provides the directed-graph substrate of the SND
+// reproduction: a compact CSR (compressed sparse row) digraph, builders,
+// synthetic network generators matching the paper's experimental setup
+// (scale-free networks with tunable exponent), and plain-text I/O.
+//
+// Node identifiers are dense ints in [0, N). Edges are directed social
+// ties: an edge u->v means information published by u can reach v (v
+// follows u). Opinion-dependent edge costs are not stored here — they
+// are materialized per (state, opinion) by package opinion, aligned with
+// the CSR edge order of this package.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is an immutable directed graph in CSR form.
+type Digraph struct {
+	off []int   // len N+1; out-edges of u are adj[off[u]:off[u+1]]
+	adj []int32 // len M; sorted within each row
+
+	rev       *Digraph // lazily built transpose (see Reverse)
+	revOfOrig []int32  // for the transpose: original edge index per reverse edge
+}
+
+// N returns the number of nodes.
+func (g *Digraph) N() int { return len(g.off) - 1 }
+
+// M returns the number of directed edges.
+func (g *Digraph) M() int { return len(g.adj) }
+
+// Out returns the out-neighbor slice of u. The slice aliases internal
+// storage and must not be modified.
+func (g *Digraph) Out(u int) []int32 { return g.adj[g.off[u]:g.off[u+1]] }
+
+// OutDegree returns the number of out-edges of u.
+func (g *Digraph) OutDegree(u int) int { return g.off[u+1] - g.off[u] }
+
+// EdgeRange returns the half-open CSR index range of u's out-edges.
+// Edge index e in [lo, hi) has head g.Head(e); per-edge cost arrays
+// produced by package opinion are aligned with these indices.
+func (g *Digraph) EdgeRange(u int) (lo, hi int) { return g.off[u], g.off[u+1] }
+
+// Head returns the head (target) node of edge index e.
+func (g *Digraph) Head(e int) int32 { return g.adj[e] }
+
+// HasEdge reports whether the directed edge u->v exists.
+func (g *Digraph) HasEdge(u, v int) bool {
+	row := g.Out(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	return i < len(row) && row[i] == int32(v)
+}
+
+// EdgeIndex returns the CSR index of edge u->v, or -1 if absent.
+func (g *Digraph) EdgeIndex(u, v int) int {
+	row := g.Out(u)
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	if i < len(row) && row[i] == int32(v) {
+		return g.off[u] + i
+	}
+	return -1
+}
+
+// Edges calls fn for every directed edge (u, v) in CSR order and stops
+// early if fn returns false.
+func (g *Digraph) Edges(fn func(u, v int32) bool) {
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(u) {
+			if !fn(int32(u), v) {
+				return
+			}
+		}
+	}
+}
+
+// Reverse returns the transpose graph (edge v->u for every u->v). The
+// transpose is built once and cached; it is safe for concurrent readers
+// only after the first call completes, so callers that share a Digraph
+// across goroutines should invoke Reverse once up front.
+func (g *Digraph) Reverse() *Digraph {
+	if g.rev != nil {
+		return g.rev
+	}
+	n := g.N()
+	off := make([]int, n+1)
+	for _, v := range g.adj {
+		off[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	adj := make([]int32, len(g.adj))
+	origIdx := make([]int32, len(g.adj))
+	cursor := make([]int, n)
+	copy(cursor, off[:n])
+	for u := 0; u < n; u++ {
+		lo, hi := g.EdgeRange(u)
+		for e := lo; e < hi; e++ {
+			v := g.adj[e]
+			slot := cursor[v]
+			adj[slot] = int32(u)
+			origIdx[slot] = int32(e)
+			cursor[v]++
+		}
+	}
+	// Rows of the transpose are already sorted: we scanned u in
+	// increasing order, so each row v received its tails in order.
+	rev := &Digraph{off: off, adj: adj, revOfOrig: origIdx}
+	rev.rev = g
+	g.rev = rev
+	return rev
+}
+
+// PermuteToReverse maps a per-edge value array aligned with g's CSR
+// order onto the CSR order of g.Reverse(): result[e'] = w[orig(e')].
+// It panics if len(w) != g.M().
+func PermuteToReverse(g *Digraph, w []int32) []int32 {
+	rev := g.Reverse()
+	if len(w) != g.M() {
+		panic(fmt.Sprintf("graph: weight array length %d != M %d", len(w), g.M()))
+	}
+	out := make([]int32, len(w))
+	for e := range out {
+		out[e] = w[rev.revOfOrig[e]]
+	}
+	return out
+}
+
+// Builder accumulates directed edges and produces a Digraph. Duplicate
+// edges and self-loops are dropped.
+type Builder struct {
+	n     int
+	tails []int32
+	heads []int32
+}
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// N returns the number of nodes the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// AddEdge records the directed edge u->v. Self-loops are ignored.
+// It panics on out-of-range endpoints.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.tails = append(b.tails, int32(u))
+	b.heads = append(b.heads, int32(v))
+}
+
+// Build sorts, deduplicates, and freezes the accumulated edges into a
+// Digraph. The Builder may be reused afterwards (its edge list is
+// retained).
+func (b *Builder) Build() *Digraph {
+	m := len(b.tails)
+	order := make([]int32, m)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, c := order[i], order[j]
+		if b.tails[a] != b.tails[c] {
+			return b.tails[a] < b.tails[c]
+		}
+		return b.heads[a] < b.heads[c]
+	})
+	off := make([]int, b.n+1)
+	adj := make([]int32, 0, m)
+	var prevT, prevH int32 = -1, -1
+	for _, idx := range order {
+		t, h := b.tails[idx], b.heads[idx]
+		if t == prevT && h == prevH {
+			continue
+		}
+		adj = append(adj, h)
+		off[t+1]++
+		prevT, prevH = t, h
+	}
+	for i := 0; i < b.n; i++ {
+		off[i+1] += off[i]
+	}
+	return &Digraph{off: off, adj: adj}
+}
+
+// FromEdges builds a Digraph directly from parallel tail/head slices.
+func FromEdges(n int, tails, heads []int) *Digraph {
+	if len(tails) != len(heads) {
+		panic("graph: mismatched edge slices")
+	}
+	b := NewBuilder(n)
+	for i := range tails {
+		b.AddEdge(tails[i], heads[i])
+	}
+	return b.Build()
+}

@@ -1,0 +1,85 @@
+package pqueue
+
+// BinaryHeap is an array-backed binary min-heap of (item, key) pairs.
+// The zero value is not usable; construct with NewBinaryHeap.
+type BinaryHeap struct {
+	items []int
+	keys  []int64
+}
+
+// NewBinaryHeap returns an empty heap with storage for hint entries.
+func NewBinaryHeap(hint int) *BinaryHeap {
+	if hint < 0 {
+		hint = 0
+	}
+	return &BinaryHeap{
+		items: make([]int, 0, hint),
+		keys:  make([]int64, 0, hint),
+	}
+}
+
+// Len returns the number of queued entries.
+func (h *BinaryHeap) Len() int { return len(h.items) }
+
+// Reset empties the heap, retaining capacity.
+func (h *BinaryHeap) Reset() {
+	h.items = h.items[:0]
+	h.keys = h.keys[:0]
+}
+
+// Push inserts item with the given key.
+func (h *BinaryHeap) Push(item int, key int64) {
+	h.items = append(h.items, item)
+	h.keys = append(h.keys, key)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns a minimum-key pair.
+func (h *BinaryHeap) Pop() (item int, key int64, ok bool) {
+	n := len(h.items)
+	if n == 0 {
+		return 0, 0, false
+	}
+	item, key = h.items[0], h.keys[0]
+	n--
+	h.items[0], h.keys[0] = h.items[n], h.keys[n]
+	h.items = h.items[:n]
+	h.keys = h.keys[:n]
+	if n > 1 {
+		h.down(0)
+	}
+	return item, key, true
+}
+
+func (h *BinaryHeap) up(i int) {
+	item, key := h.items[i], h.keys[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.keys[parent] <= key {
+			break
+		}
+		h.items[i], h.keys[i] = h.items[parent], h.keys[parent]
+		i = parent
+	}
+	h.items[i], h.keys[i] = item, key
+}
+
+func (h *BinaryHeap) down(i int) {
+	n := len(h.items)
+	item, key := h.items[i], h.keys[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.keys[r] < h.keys[child] {
+			child = r
+		}
+		if key <= h.keys[child] {
+			break
+		}
+		h.items[i], h.keys[i] = h.items[child], h.keys[child]
+		i = child
+	}
+	h.items[i], h.keys[i] = item, key
+}

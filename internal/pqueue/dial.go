@@ -1,0 +1,81 @@
+package pqueue
+
+// Dial is Dial's circular bucket queue for monotone integer keys.
+//
+// It requires that every pending key lies within [last, last+C] where
+// last is the most recently popped key and C is the maximum edge cost
+// supplied at construction. Dijkstra with non-negative integer edge
+// costs bounded by C satisfies this invariant, which is exactly the
+// paper's Assumption 2 (costs are positive integers bounded by U).
+type Dial struct {
+	buckets [][]entry
+	c       int64 // bucket count - 1 == max key spread
+	cursor  int64 // bucket index of the last popped key
+	last    int64 // last popped key (monotone floor)
+	size    int
+}
+
+type entry struct {
+	item int
+	key  int64
+}
+
+// NewDial returns an empty Dial queue supporting key spreads up to
+// maxEdgeCost; hint sizes nothing (buckets grow on demand).
+func NewDial(maxEdgeCost int64, hint int) *Dial {
+	if maxEdgeCost < 1 {
+		maxEdgeCost = 1
+	}
+	return &Dial{
+		buckets: make([][]entry, maxEdgeCost+1),
+		c:       maxEdgeCost,
+	}
+}
+
+// Len returns the number of queued entries.
+func (d *Dial) Len() int { return d.size }
+
+// Reset empties the queue, retaining bucket capacity.
+func (d *Dial) Reset() {
+	for i := range d.buckets {
+		d.buckets[i] = d.buckets[i][:0]
+	}
+	d.cursor, d.last, d.size = 0, 0, 0
+}
+
+// Push inserts item with the given key. The key must satisfy
+// last <= key <= last+C where last is the most recently popped key.
+func (d *Dial) Push(item int, key int64) {
+	if key < d.last || key > d.last+d.c {
+		panic("pqueue: Dial key outside monotone window")
+	}
+	b := key % (d.c + 1)
+	d.buckets[b] = append(d.buckets[b], entry{item, key})
+	d.size++
+}
+
+// Pop removes and returns a minimum-key pair by scanning buckets
+// circularly from the last minimum.
+func (d *Dial) Pop() (item int, key int64, ok bool) {
+	if d.size == 0 {
+		return 0, 0, false
+	}
+	n := d.c + 1
+	for {
+		b := d.buckets[d.cursor]
+		if len(b) > 0 {
+			// Entries within one bucket share the same key modulo
+			// n; under the monotone window they share the exact
+			// key, so LIFO order within the bucket is fine.
+			e := b[len(b)-1]
+			d.buckets[d.cursor] = b[:len(b)-1]
+			d.size--
+			d.last = e.key
+			return e.item, e.key, true
+		}
+		d.cursor++
+		if d.cursor == n {
+			d.cursor = 0
+		}
+	}
+}

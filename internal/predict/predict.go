@@ -1,0 +1,278 @@
+// Package predict implements the user-opinion prediction methods of the
+// paper's Section 6.3.
+//
+// The distance-based method assumes the network evolved "smoothly":
+// distances between adjacent past states extrapolate to an estimate d*
+// of the distance from the latest state to the (unknown) complete
+// current state. Candidate opinion assignments for the target users are
+// sampled uniformly at random, and the assignment whose induced
+// distance lands closest to d* wins. Plugging SND into this scheme is
+// the paper's method; plugging hamming/quad-form/walk-dist gives the
+// distance-based baselines.
+//
+// Two non-distance baselines are included: nhood-voting (probabilistic
+// voting over active in-neighbors) and community-lp (label-propagation
+// communities vote; Conover et al.).
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"snd/internal/cluster"
+	"snd/internal/core"
+	"snd/internal/graph"
+	"snd/internal/opinion"
+	"snd/internal/stats"
+)
+
+// StateDistance is any distance between two network states (package
+// distance's measures and the SND adapter below satisfy it).
+type StateDistance interface {
+	Distance(a, b opinion.State) (float64, error)
+	Name() string
+}
+
+// SNDMeasure adapts core.Distance to the StateDistance interface.
+type SNDMeasure struct {
+	G    *graph.Digraph
+	Opts core.Options
+}
+
+// Name implements StateDistance.
+func (SNDMeasure) Name() string { return "snd" }
+
+// Distance implements StateDistance.
+func (m SNDMeasure) Distance(a, b opinion.State) (float64, error) {
+	res, err := core.Distance(m.G, a, b, m.Opts)
+	if err != nil {
+		return 0, err
+	}
+	return res.SND, nil
+}
+
+// Predictor predicts the opinions of target users in the current
+// (incomplete) network state. past holds the observed recent states,
+// oldest first; current has the targets' opinions blanked to Neutral.
+// The returned slice is aligned with targets.
+type Predictor interface {
+	Name() string
+	Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error)
+}
+
+// DistanceBased is the Section 6.3 randomized-search predictor.
+type DistanceBased struct {
+	Measure StateDistance
+	// Assignments is the number of random candidate assignments
+	// sampled (the paper uses 100).
+	Assignments int
+	// Rng drives the randomized search; nil seeds from Seed.
+	Seed int64
+}
+
+// Name implements Predictor.
+func (d DistanceBased) Name() string { return d.Measure.Name() }
+
+// Predict implements Predictor.
+func (d DistanceBased) Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+	if len(past) < 2 {
+		return nil, fmt.Errorf("predict: distance-based method needs >= 2 past states, have %d", len(past))
+	}
+	if d.Assignments < 1 {
+		d.Assignments = 100
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	// Distances between adjacent past states, extrapolated one step.
+	dists := make([]float64, 0, len(past)-1)
+	for i := 0; i+1 < len(past); i++ {
+		v, err := d.Measure.Distance(past[i], past[i+1])
+		if err != nil {
+			return nil, err
+		}
+		dists = append(dists, v)
+	}
+	dStar, err := stats.ExtrapolateNext(dists)
+	if err != nil {
+		return nil, err
+	}
+	latest := past[len(past)-1]
+	candidate := current.Clone()
+	best := make([]opinion.Opinion, len(targets))
+	bestGap := math.Inf(1)
+	for trial := 0; trial < d.Assignments; trial++ {
+		for _, u := range targets {
+			if rng.Intn(2) == 0 {
+				candidate[u] = opinion.Positive
+			} else {
+				candidate[u] = opinion.Negative
+			}
+		}
+		v, err := d.Measure.Distance(latest, candidate)
+		if err != nil {
+			return nil, err
+		}
+		if gap := math.Abs(v - dStar); gap < bestGap {
+			bestGap = gap
+			for i, u := range targets {
+				best[i] = candidate[u]
+			}
+		}
+	}
+	return best, nil
+}
+
+// NhoodVoting predicts each target's opinion by probabilistic voting
+// over its active in-neighbors in the current state, falling back to a
+// uniformly random opinion when it has none.
+type NhoodVoting struct {
+	G    *graph.Digraph
+	Seed int64
+}
+
+// Name implements Predictor.
+func (NhoodVoting) Name() string { return "nhood-voting" }
+
+// Predict implements Predictor.
+func (n NhoodVoting) Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+	rng := rand.New(rand.NewSource(n.Seed))
+	rev := n.G.Reverse()
+	out := make([]opinion.Opinion, len(targets))
+	for i, v := range targets {
+		pos, neg := 0, 0
+		for _, u := range rev.Out(v) {
+			switch current[u] {
+			case opinion.Positive:
+				pos++
+			case opinion.Negative:
+				neg++
+			}
+		}
+		switch {
+		case pos+neg == 0:
+			out[i] = randomOpinion(rng)
+		case rng.Intn(pos+neg) < pos:
+			out[i] = opinion.Positive
+		default:
+			out[i] = opinion.Negative
+		}
+	}
+	return out, nil
+}
+
+// CommunityLP predicts each target's opinion as the majority opinion of
+// the active users in its label-propagation community (Conover et al.,
+// "Predicting the political alignment of Twitter users").
+type CommunityLP struct {
+	G *graph.Digraph
+	// MaxIter bounds label-propagation sweeps (default 20).
+	MaxIter int
+	Seed    int64
+}
+
+// Name implements Predictor.
+func (CommunityLP) Name() string { return "community-lp" }
+
+// Predict implements Predictor.
+func (c CommunityLP) Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+	maxIter := c.MaxIter
+	if maxIter < 1 {
+		maxIter = 20
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	labels := cluster.LabelPropagation(c.G, maxIter, c.Seed)
+	nc := cluster.Count(labels)
+	pos := make([]int, nc)
+	neg := make([]int, nc)
+	isTarget := make(map[int]bool, len(targets))
+	for _, u := range targets {
+		isTarget[u] = true
+	}
+	for u, o := range current {
+		if isTarget[u] {
+			continue
+		}
+		switch o {
+		case opinion.Positive:
+			pos[labels[u]]++
+		case opinion.Negative:
+			neg[labels[u]]++
+		}
+	}
+	out := make([]opinion.Opinion, len(targets))
+	for i, u := range targets {
+		c := labels[u]
+		switch {
+		case pos[c] > neg[c]:
+			out[i] = opinion.Positive
+		case neg[c] > pos[c]:
+			out[i] = opinion.Negative
+		default:
+			out[i] = randomOpinion(rng)
+		}
+	}
+	return out, nil
+}
+
+func randomOpinion(rng *rand.Rand) opinion.Opinion {
+	if rng.Intn(2) == 0 {
+		return opinion.Positive
+	}
+	return opinion.Negative
+}
+
+// Accuracy returns the fraction of targets whose predicted opinion
+// matches truth.
+func Accuracy(truth opinion.State, targets []int, predicted []opinion.Opinion) (float64, error) {
+	if len(targets) != len(predicted) {
+		return 0, fmt.Errorf("predict: %d predictions for %d targets", len(predicted), len(targets))
+	}
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("predict: no targets")
+	}
+	correct := 0
+	for i, u := range targets {
+		if truth[u] == predicted[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(targets)), nil
+}
+
+// SelectTargets uniformly samples k active users of st, balancing
+// positive and negative users as the paper's experiments do. It returns
+// fewer than k when the state lacks active users.
+func SelectTargets(st opinion.State, k int, rng *rand.Rand) []int {
+	var pos, neg []int
+	for u, o := range st {
+		switch o {
+		case opinion.Positive:
+			pos = append(pos, u)
+		case opinion.Negative:
+			neg = append(neg, u)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	half := k / 2
+	if half > len(pos) {
+		half = len(pos)
+	}
+	rest := k - half
+	if rest > len(neg) {
+		rest = len(neg)
+	}
+	out := append(append([]int{}, pos[:half]...), neg[:rest]...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Blank returns a copy of st with the targets' opinions set to Neutral
+// (the "incomplete current state" of the prediction setting).
+func Blank(st opinion.State, targets []int) opinion.State {
+	out := st.Clone()
+	for _, u := range targets {
+		out[u] = opinion.Neutral
+	}
+	return out
+}

@@ -1,0 +1,258 @@
+// Package search provides metric-space applications of SND — the
+// paper's Section 9 future-work items: nearest-neighbor search over
+// network states, k-medoids clustering of states, and classification
+// by nearest labelled state.
+//
+// All routines work with any state distance (the Measure interface of
+// package predict); plugging SND in gives the paper's intended use.
+// Distances are cached per (i, j) pair, and the triangle-inequality
+// pruning of NearestNeighbors can be enabled for measures known to be
+// metric (see DESIGN.md on when SND configurations are metric).
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"snd/internal/opinion"
+)
+
+// Distance is any distance between two network states.
+type Distance interface {
+	Distance(a, b opinion.State) (float64, error)
+	Name() string
+}
+
+// Index is a collection of network states searchable by distance.
+type Index struct {
+	states []opinion.State
+	dist   Distance
+	cache  map[[2]int]float64
+}
+
+// NewIndex builds an index over the given states (which are not
+// copied).
+func NewIndex(states []opinion.State, dist Distance) *Index {
+	return &Index{
+		states: states,
+		dist:   dist,
+		cache:  make(map[[2]int]float64),
+	}
+}
+
+// Len returns the number of indexed states.
+func (ix *Index) Len() int { return len(ix.states) }
+
+// State returns the i-th indexed state.
+func (ix *Index) State(i int) opinion.State { return ix.states[i] }
+
+// between returns the (cached) distance between indexed states i and j.
+func (ix *Index) between(i, j int) (float64, error) {
+	if i == j {
+		return 0, nil
+	}
+	key := [2]int{i, j}
+	if i > j {
+		key = [2]int{j, i}
+	}
+	if d, ok := ix.cache[key]; ok {
+		return d, nil
+	}
+	d, err := ix.dist.Distance(ix.states[i], ix.states[j])
+	if err != nil {
+		return 0, err
+	}
+	ix.cache[key] = d
+	return d, nil
+}
+
+// Neighbor is one search result.
+type Neighbor struct {
+	// Index identifies the state within the index.
+	Index int
+	// Dist is its distance from the query.
+	Dist float64
+}
+
+// NearestNeighbors returns the k indexed states closest to the query,
+// ascending by distance.
+func (ix *Index) NearestNeighbors(query opinion.State, k int) ([]Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("search: k must be >= 1, got %d", k)
+	}
+	out := make([]Neighbor, 0, len(ix.states))
+	for i := range ix.states {
+		d, err := ix.dist.Distance(query, ix.states[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Neighbor{Index: i, Dist: d})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k], nil
+}
+
+// Classify predicts the query's label as the majority label among its
+// k nearest labelled states (ties broken by the nearer neighbors).
+func (ix *Index) Classify(query opinion.State, labels []int, k int) (int, error) {
+	if len(labels) != len(ix.states) {
+		return 0, fmt.Errorf("search: %d labels for %d states", len(labels), len(ix.states))
+	}
+	nn, err := ix.NearestNeighbors(query, k)
+	if err != nil {
+		return 0, err
+	}
+	if len(nn) == 0 {
+		return 0, fmt.Errorf("search: empty index")
+	}
+	votes := map[int]int{}
+	for _, nb := range nn {
+		votes[labels[nb.Index]]++
+	}
+	best, bestVotes := labels[nn[0].Index], -1
+	for _, nb := range nn {
+		l := labels[nb.Index]
+		if votes[l] > bestVotes {
+			best, bestVotes = l, votes[l]
+		}
+	}
+	return best, nil
+}
+
+// Clustering is a k-medoids result.
+type Clustering struct {
+	// Medoids are the indices of the representative states.
+	Medoids []int
+	// Assign maps each indexed state to its medoid's position in
+	// Medoids.
+	Assign []int
+	// Cost is the sum of distances from each state to its medoid.
+	Cost float64
+}
+
+// KMedoids clusters the indexed states around k representative states
+// by PAM-style alternation with 8 random restarts, keeping the lowest-
+// cost clustering. Deterministic for a fixed seed.
+func (ix *Index) KMedoids(k, maxIter int, seed int64) (Clustering, error) {
+	const restarts = 8
+	var best Clustering
+	bestCost := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		c, err := ix.kMedoidsOnce(k, maxIter, seed+int64(r)*7919)
+		if err != nil {
+			return Clustering{}, err
+		}
+		if c.Cost < bestCost {
+			best, bestCost = c, c.Cost
+		}
+	}
+	return best, nil
+}
+
+func (ix *Index) kMedoidsOnce(k, maxIter int, seed int64) (Clustering, error) {
+	n := len(ix.states)
+	if k < 1 || k > n {
+		return Clustering{}, fmt.Errorf("search: k=%d out of range for %d states", k, n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(n)[:k]
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for m, med := range medoids {
+				d, err := ix.between(i, med)
+				if err != nil {
+					return Clustering{}, err
+				}
+				if d < bestD {
+					best, bestD = m, d
+				}
+			}
+			assign[i] = best
+		}
+		// Update step.
+		changed := false
+		for m := range medoids {
+			var members []int
+			for i, a := range assign {
+				if a == m {
+					members = append(members, i)
+				}
+			}
+			if len(members) == 0 {
+				continue
+			}
+			bestMed, bestCost := medoids[m], math.Inf(1)
+			for _, cand := range members {
+				cost := 0.0
+				for _, i := range members {
+					d, err := ix.between(cand, i)
+					if err != nil {
+						return Clustering{}, err
+					}
+					cost += d
+				}
+				if cost < bestCost {
+					bestMed, bestCost = cand, cost
+				}
+			}
+			if bestMed != medoids[m] {
+				medoids[m] = bestMed
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Final assignment and cost.
+	total := 0.0
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for m, med := range medoids {
+			d, err := ix.between(i, med)
+			if err != nil {
+				return Clustering{}, err
+			}
+			if d < bestD {
+				best, bestD = m, d
+			}
+		}
+		assign[i] = best
+		total += bestD
+	}
+	return Clustering{Medoids: medoids, Assign: assign, Cost: total}, nil
+}
+
+// PairwiseMatrix computes the full distance matrix of the indexed
+// states (useful for external clustering or MDS-style embedding).
+func (ix *Index) PairwiseMatrix() ([][]float64, error) {
+	n := len(ix.states)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := ix.between(i, j)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = d
+			out[j][i] = d
+		}
+	}
+	return out, nil
+}

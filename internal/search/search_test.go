@@ -1,0 +1,172 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"snd/internal/opinion"
+)
+
+// hammingDist is a cheap test measure.
+type hammingDist struct{}
+
+func (hammingDist) Name() string { return "hamming" }
+func (hammingDist) Distance(a, b opinion.State) (float64, error) {
+	return float64(a.DiffCount(b)), nil
+}
+
+// fixture: states on a line — state i has users 0..i positive.
+func fixtureStates(n, users int) []opinion.State {
+	out := make([]opinion.State, n)
+	for i := range out {
+		st := opinion.NewState(users)
+		for u := 0; u <= i && u < users; u++ {
+			st[u] = opinion.Positive
+		}
+		out[i] = st
+	}
+	return out
+}
+
+func TestNearestNeighbors(t *testing.T) {
+	states := fixtureStates(6, 10)
+	ix := NewIndex(states, hammingDist{})
+	if ix.Len() != 6 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	query := states[3].Clone()
+	nn, err := ix.NearestNeighbors(query, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn[0].Index != 3 || nn[0].Dist != 0 {
+		t.Errorf("nearest = %+v, want index 3 at 0", nn[0])
+	}
+	// Next nearest are 2 and 4 at distance 1 (index tie-break ascending).
+	if nn[1].Index != 2 || nn[2].Index != 4 {
+		t.Errorf("neighbors = %+v", nn)
+	}
+	if _, err := ix.NearestNeighbors(query, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// k beyond the index size clamps.
+	all, err := ix.NearestNeighbors(query, 99)
+	if err != nil || len(all) != 6 {
+		t.Errorf("clamped NN = %d, %v", len(all), err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	states := fixtureStates(6, 10)
+	labels := []int{0, 0, 0, 1, 1, 1}
+	ix := NewIndex(states, hammingDist{})
+	got, err := ix.Classify(states[1], labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("Classify(low state) = %d, want 0", got)
+	}
+	got, err = ix.Classify(states[4], labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("Classify(high state) = %d, want 1", got)
+	}
+	if _, err := ix.Classify(states[0], []int{1}, 1); err == nil {
+		t.Error("label length mismatch accepted")
+	}
+}
+
+func TestKMedoids(t *testing.T) {
+	// Two well-separated groups of states.
+	users := 20
+	var states []opinion.State
+	for i := 0; i < 4; i++ {
+		st := opinion.NewState(users)
+		for u := 0; u <= i; u++ {
+			st[u] = opinion.Positive
+		}
+		states = append(states, st)
+	}
+	for i := 0; i < 4; i++ {
+		st := opinion.NewState(users)
+		for u := 10; u <= 13+i && u < users; u++ {
+			st[u] = opinion.Negative
+		}
+		states = append(states, st)
+	}
+	ix := NewIndex(states, hammingDist{})
+	res, err := ix.KMedoids(2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Medoids) != 2 {
+		t.Fatalf("medoids = %v", res.Medoids)
+	}
+	// The two groups must not share a cluster.
+	for i := 1; i < 4; i++ {
+		if res.Assign[i] != res.Assign[0] {
+			t.Errorf("group A split: %v", res.Assign)
+		}
+		if res.Assign[4+i] != res.Assign[4] {
+			t.Errorf("group B split: %v", res.Assign)
+		}
+	}
+	if res.Assign[0] == res.Assign[4] {
+		t.Errorf("groups merged: %v", res.Assign)
+	}
+	if res.Cost <= 0 || math.IsInf(res.Cost, 0) {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	// Errors.
+	if _, err := ix.KMedoids(0, 5, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := ix.KMedoids(99, 5, 1); err == nil {
+		t.Error("k>n accepted")
+	}
+	// Determinism.
+	res2, err := ix.KMedoids(2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cost != res.Cost {
+		t.Error("same seed must give identical clustering cost")
+	}
+}
+
+func TestPairwiseMatrix(t *testing.T) {
+	states := fixtureStates(4, 8)
+	ix := NewIndex(states, hammingDist{})
+	m, err := ix.PairwiseMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal m[%d][%d] = %v", i, i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if m[0][3] != 3 {
+		t.Errorf("m[0][3] = %v, want 3", m[0][3])
+	}
+	// Cache must be warm now: a second call is consistent.
+	m2, err := ix.PairwiseMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m {
+			if m[i][j] != m2[i][j] {
+				t.Fatal("cache inconsistency")
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package stats provides the small descriptive-statistics toolkit used
+// by the experiment harnesses: means, standard deviations, min-max
+// scaling, and linear extrapolation.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator); 0 for
+// fewer than two values.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// MinMax returns the extrema; (0, 0) for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Scale01 min-max scales xs into [0, 1] (all zeros when constant),
+// returning a new slice.
+func Scale01(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	min, max := MinMax(xs)
+	span := max - min
+	if span == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - min) / span
+	}
+	return out
+}
+
+// ExtrapolateNext fits a least-squares line through the points
+// (0, xs[0]), ..., (k-1, xs[k-1]) and returns its value at k — the
+// distance-series extrapolation of the opinion prediction method
+// (Section 6.3). With one point it returns that point.
+func ExtrapolateNext(xs []float64) (float64, error) {
+	k := len(xs)
+	switch k {
+	case 0:
+		return 0, fmt.Errorf("stats: cannot extrapolate empty series")
+	case 1:
+		return xs[0], nil
+	}
+	// Least squares over t = 0..k-1.
+	tMean := float64(k-1) / 2
+	xMean := Mean(xs)
+	var num, den float64
+	for t, x := range xs {
+		dt := float64(t) - tMean
+		num += dt * (x - xMean)
+		den += dt * dt
+	}
+	slope := num / den
+	intercept := xMean - slope*tMean
+	return intercept + slope*float64(k), nil
+}
+
+// ArgmaxAbs returns the index of the entry with the largest absolute
+// value, -1 for an empty slice.
+func ArgmaxAbs(xs []float64) int {
+	best, idx := math.Inf(-1), -1
+	for i, x := range xs {
+		if a := math.Abs(x); a > best {
+			best, idx = a, i
+		}
+	}
+	return idx
+}

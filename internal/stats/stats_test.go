@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 || Std([]float64{3}) != 0 {
+		t.Error("empty/singleton cases wrong")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Std(xs); math.Abs(got-2.138089935) > 1e-6 {
+		t.Errorf("Std = %v, want ~2.138", got)
+	}
+}
+
+func TestMinMaxScale01(t *testing.T) {
+	xs := []float64{3, 1, 5}
+	min, max := MinMax(xs)
+	if min != 1 || max != 5 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	s := Scale01(xs)
+	want := []float64{0.5, 0, 1}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("Scale01 = %v, want %v", s, want)
+		}
+	}
+	if out := Scale01([]float64{2, 2, 2}); out[0] != 0 || out[1] != 0 {
+		t.Error("constant series should scale to zeros")
+	}
+	if out := Scale01(nil); len(out) != 0 {
+		t.Error("nil input should give empty output")
+	}
+}
+
+func TestExtrapolateNext(t *testing.T) {
+	if _, err := ExtrapolateNext(nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	got, err := ExtrapolateNext([]float64{7})
+	if err != nil || got != 7 {
+		t.Errorf("single point: %v, %v", got, err)
+	}
+	// Perfect line y = 2t + 1 -> next is 2*3+1 = 7.
+	got, err = ExtrapolateNext([]float64{1, 3, 5})
+	if err != nil || math.Abs(got-7) > 1e-9 {
+		t.Errorf("line extrapolation = %v, want 7", got)
+	}
+	// Constant series stays constant.
+	got, _ = ExtrapolateNext([]float64{4, 4, 4, 4})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("constant extrapolation = %v, want 4", got)
+	}
+}
+
+func TestQuickExtrapolateAffine(t *testing.T) {
+	// For any affine series, extrapolation is exact.
+	prop := func(a, b int8, rawN uint8) bool {
+		n := int(rawN%6) + 2
+		xs := make([]float64, n)
+		for t := range xs {
+			xs[t] = float64(a)*float64(t) + float64(b)
+		}
+		got, err := ExtrapolateNext(xs)
+		if err != nil {
+			return false
+		}
+		want := float64(a)*float64(n) + float64(b)
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgmaxAbs(t *testing.T) {
+	if ArgmaxAbs(nil) != -1 {
+		t.Error("empty should be -1")
+	}
+	if got := ArgmaxAbs([]float64{1, -5, 3}); got != 1 {
+		t.Errorf("ArgmaxAbs = %d, want 1", got)
+	}
+}

@@ -1,0 +1,337 @@
+package snd
+
+import (
+	"io"
+	"math/rand"
+
+	"snd/internal/anomaly"
+	"snd/internal/cluster"
+	"snd/internal/core"
+	"snd/internal/dataset"
+	"snd/internal/distance"
+	"snd/internal/dynamics"
+	"snd/internal/emd"
+	"snd/internal/graph"
+	"snd/internal/opinion"
+	"snd/internal/predict"
+	"snd/internal/search"
+)
+
+// Graph is a directed social network in compressed sparse row form.
+// An edge u->v means v follows u: information published by u reaches v.
+type Graph = graph.Digraph
+
+// GraphBuilder accumulates directed edges and freezes them into a
+// Graph. Duplicates and self-loops are dropped.
+type GraphBuilder = graph.Builder
+
+// NewGraphBuilder returns a builder for a graph with n users.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// ReadGraph parses the plain edge-list format ("n m" header, then one
+// "u v" line per directed edge; '#' comments allowed).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.Decode(r) }
+
+// ScaleFreeConfig parameterizes the scale-free network generator.
+type ScaleFreeConfig = graph.ScaleFreeConfig
+
+// ScaleFreeGraph generates a directed scale-free network with a
+// tunable in-degree exponent (the synthetic substrate of the paper's
+// experiments).
+func ScaleFreeGraph(cfg ScaleFreeConfig) *Graph { return graph.ScaleFree(cfg) }
+
+// Opinion is a user's polar opinion: Positive, Negative, or Neutral.
+type Opinion = opinion.Opinion
+
+// The three polar opinions.
+const (
+	Positive = opinion.Positive
+	Negative = opinion.Negative
+	Neutral  = opinion.Neutral
+)
+
+// State is a network state: one opinion per user.
+type State = opinion.State
+
+// NewState returns an all-neutral state for n users.
+func NewState(n int) State { return opinion.NewState(n) }
+
+// ReadState parses the state format written by State.Encode.
+func ReadState(r io.Reader) (State, error) { return opinion.DecodeState(r) }
+
+// Options configures SND: ground-cost model, bank-bin distance,
+// computation engine, flow solver, Dijkstra heap, and bank clustering.
+type Options = core.Options
+
+// Result reports an SND evaluation: the distance, the four EMD* terms
+// of eq. 3, n-delta, and computation statistics.
+type Result = core.Result
+
+// DefaultOptions returns the configuration used by the paper's
+// experiments.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Engine selects the SND computation strategy (see Options.Engine).
+type Engine = core.Engine
+
+// The available engines: automatic choice, the Theorem 4 bipartite
+// pipeline, network-routed flow, and the dense oracle.
+const (
+	EngineAuto      = core.EngineAuto
+	EngineBipartite = core.EngineBipartite
+	EngineNetwork   = core.EngineNetwork
+	EngineDense     = core.EngineDense
+)
+
+// FlowSolver selects the min-cost-flow algorithm (see Options.Solver).
+type FlowSolver = core.FlowSolver
+
+// The available solvers: automatic choice, successive shortest paths,
+// and Goldberg-Tarjan cost-scaling (the paper's CS2).
+const (
+	FlowAuto        = core.FlowAuto
+	FlowSSP         = core.FlowSSP
+	FlowCostScaling = core.FlowCostScaling
+)
+
+// Distance computes SND between two states of g (paper eq. 3).
+func Distance(g *Graph, a, b State, opts Options) (Result, error) {
+	return core.Distance(g, a, b, opts)
+}
+
+// DistanceValue is Distance with default options, returning only the
+// distance value.
+func DistanceValue(g *Graph, a, b State) (float64, error) {
+	res, err := core.Distance(g, a, b, core.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	return res.SND, nil
+}
+
+// DirectDistance computes SND with the un-reduced dense transportation
+// problem and a general simplex solver — the paper's Fig. 11 baseline.
+// Exact but super-cubic; intended for small networks and validation.
+func DirectDistance(g *Graph, a, b State, opts Options) (Result, error) {
+	return core.Direct(g, a, b, opts)
+}
+
+// TransportMove is one user-level shipment of an SND transport plan.
+type TransportMove = core.Move
+
+// TermPlan is one eq. 3 term's transport plan.
+type TermPlan = core.TermPlan
+
+// Explain computes SND and returns the four terms' transport plans:
+// which users' opinion mass covered which changes and at what cost.
+func Explain(g *Graph, a, b State, opts Options) (Result, [4]TermPlan, error) {
+	return core.Explain(g, a, b, opts)
+}
+
+// Series returns the SND between every adjacent pair of states.
+func Series(g *Graph, states []State, opts Options) ([]float64, error) {
+	return core.Series(g, states, opts)
+}
+
+// Measure is a distance between two network states; SND and every
+// baseline of the paper's evaluation satisfy it.
+type Measure interface {
+	Distance(a, b State) (float64, error)
+	Name() string
+}
+
+// SNDMeasure adapts SND to the Measure interface.
+func SNDMeasure(g *Graph, opts Options) Measure {
+	return predict.SNDMeasure{G: g, Opts: opts}
+}
+
+// HammingMeasure counts coordinate-wise opinion disagreements.
+func HammingMeasure(n int) Measure { return distance.Hamming{N: n} }
+
+// L1Measure is the l1 distance over the +1/0/-1 opinion encoding.
+func L1Measure(n int) Measure { return distance.Lp{N: n, P: 1} }
+
+// QuadFormMeasure is the Laplacian quadratic-form distance.
+func QuadFormMeasure(g *Graph) Measure { return distance.QuadForm{G: g} }
+
+// WalkDistMeasure compares per-user contention vectors.
+func WalkDistMeasure(g *Graph) Measure { return distance.WalkDist{G: g} }
+
+// BFSClusterLabels partitions the graph's users into at most k
+// clusters of near-equal size by multi-seed breadth-first growth, for
+// use as Options.Clusters (coarse bank-bin allocation, Fig. 4). Coarse
+// banks aggregate a cluster's mass, which makes the mass-mismatch
+// penalty robust on weakly-connected digraphs where per-user banks at
+// dead-end users would pay the saturated escape cost.
+func BFSClusterLabels(g *Graph, k int) []int { return cluster.BFSPartition(g, k) }
+
+// CommunityLabels detects communities by label propagation, for use as
+// Options.Clusters or for community-level analysis.
+func CommunityLabels(g *Graph, maxIter int, seed int64) []int {
+	return cluster.LabelPropagation(g, maxIter, seed)
+}
+
+// EMDStarConfig parameterizes EMDStar.
+type EMDStarConfig = emd.StarConfig
+
+// EMDStar computes the paper's generalized Earth Mover's Distance
+// (eq. 4) between two histograms over an arbitrary ground distance.
+func EMDStar(p, q []float64, dist func(i, j int) float64, cfg EMDStarConfig) (float64, error) {
+	return emd.Star(p, q, dist, cfg)
+}
+
+// EMD computes the original Earth Mover's Distance (eq. 1).
+func EMD(p, q []float64, dist func(i, j int) float64) (float64, error) {
+	return emd.EMD(p, q, dist, emd.SolverSSP)
+}
+
+// AnomalyReport is the outcome of the Section 6.2 anomaly pipeline for
+// one distance measure over a state series.
+type AnomalyReport struct {
+	// Name is the measure's name.
+	Name string
+	// Distances are the per-transition distances, normalized by
+	// active-user counts and scaled to [0, 1].
+	Distances []float64
+	// Scores are the per-transition anomaly scores S_t.
+	Scores []float64
+}
+
+// DetectAnomalies runs the anomaly pipeline for measure m over a state
+// series: adjacent distances, active-count normalization, min-max
+// scaling, and spike scores. Rank transitions by Scores descending to
+// flag anomalies.
+func DetectAnomalies(states []State, m Measure) (AnomalyReport, error) {
+	dists := make([]float64, 0, len(states)-1)
+	for i := 0; i+1 < len(states); i++ {
+		d, err := m.Distance(states[i], states[i+1])
+		if err != nil {
+			return AnomalyReport{}, err
+		}
+		dists = append(dists, d)
+	}
+	actives := make([]int, len(states))
+	for i, st := range states {
+		actives[i] = st.ActiveCount()
+	}
+	norm, err := anomaly.NormalizeSeries(dists, actives)
+	if err != nil {
+		return AnomalyReport{}, err
+	}
+	return AnomalyReport{
+		Name:      m.Name(),
+		Distances: norm,
+		Scores:    anomaly.Scores(norm),
+	}, nil
+}
+
+// ROCPoint is one point of a receiver operating characteristic curve.
+type ROCPoint = anomaly.ROCPoint
+
+// ROC sweeps a decision threshold over anomaly scores against ground-
+// truth labels.
+func ROC(scores []float64, truth []bool) ([]ROCPoint, error) {
+	return anomaly.ROC(scores, truth)
+}
+
+// AUC integrates an ROC curve.
+func AUC(curve []ROCPoint) float64 { return anomaly.AUC(curve) }
+
+// TPRAtFPR returns the best true-positive rate at false-positive rate
+// <= maxFPR.
+func TPRAtFPR(curve []ROCPoint, maxFPR float64) float64 {
+	return anomaly.TPRAtFPR(curve, maxFPR)
+}
+
+// Predictor predicts the opinions of target users in an incomplete
+// current state from recent history (Section 6.3).
+type Predictor = predict.Predictor
+
+// DistanceBasedPredictor is the paper's randomized-search prediction
+// method, parameterized by any Measure (use SNDMeasure for the paper's
+// method).
+func DistanceBasedPredictor(m Measure, assignments int, seed int64) Predictor {
+	return predict.DistanceBased{Measure: m, Assignments: assignments, Seed: seed}
+}
+
+// NhoodVotingPredictor predicts by probabilistic voting over active
+// in-neighbors.
+func NhoodVotingPredictor(g *Graph, seed int64) Predictor {
+	return predict.NhoodVoting{G: g, Seed: seed}
+}
+
+// CommunityLPPredictor predicts by label-propagation community
+// majority (Conover et al.).
+func CommunityLPPredictor(g *Graph, seed int64) Predictor {
+	return predict.CommunityLP{G: g, Seed: seed}
+}
+
+// SelectPredictionTargets samples k active users with balanced
+// opinions, as the paper's prediction experiments do.
+func SelectPredictionTargets(st State, k int, rng *rand.Rand) []int {
+	return predict.SelectTargets(st, k, rng)
+}
+
+// BlankTargets returns a copy of st with the targets' opinions hidden.
+func BlankTargets(st State, targets []int) State { return predict.Blank(st, targets) }
+
+// PredictionAccuracy scores predictions against the true state.
+func PredictionAccuracy(truth State, targets []int, predicted []Opinion) (float64, error) {
+	return predict.Accuracy(truth, targets, predicted)
+}
+
+// Evolution is the Section 6.1 synthetic opinion process.
+type Evolution = dynamics.Evolution
+
+// EvolutionParams is one tick's (Pnbr, Pext) activation probabilities.
+type EvolutionParams = dynamics.StepParams
+
+// NewEvolution seeds the synthetic process with balanced random
+// adopters.
+func NewEvolution(g *Graph, initialAdopters int, seed int64) *Evolution {
+	return dynamics.NewEvolution(g, initialAdopters, seed)
+}
+
+// ICCStep runs one round of the competitive Independent Cascade model
+// over the current state (Section 6.4's "normal" transition), returning
+// the next state and the number of new activations.
+func ICCStep(g *Graph, st State, edgeProb float64, rng *rand.Rand) (State, int) {
+	return dynamics.ICCStep(g, st, edgeProb, rng)
+}
+
+// RandomActivationStep activates count random neutral users with random
+// opinions (Section 6.4's structure-blind "anomalous" transition).
+func RandomActivationStep(g *Graph, st State, count int, rng *rand.Rand) (State, int) {
+	return dynamics.RandomStep(g, st, count, rng)
+}
+
+// StateIndex is a collection of network states searchable in the
+// metric space a Measure induces — the paper's Section 9 application:
+// nearest-neighbor search, classification, and clustering of states.
+type StateIndex = search.Index
+
+// StateNeighbor is one nearest-neighbor search result.
+type StateNeighbor = search.Neighbor
+
+// StateClustering is a k-medoids clustering of indexed states.
+type StateClustering = search.Clustering
+
+// NewStateIndex indexes states under measure m (use SNDMeasure for the
+// paper's metric space).
+func NewStateIndex(states []State, m Measure) *StateIndex {
+	return search.NewIndex(states, m)
+}
+
+// TwitterConfig parameterizes the synthetic Twitter-like corpus.
+type TwitterConfig = dataset.Config
+
+// TwitterEvent is one ground-truth event of the corpus timeline.
+type TwitterEvent = dataset.Event
+
+// TwitterDataset is the generated corpus: graph, quarterly states,
+// events, interest series.
+type TwitterDataset = dataset.Dataset
+
+// TwitterCorpus generates the synthetic stand-in for the paper's
+// Twitter data with the default 2008-2011 political event timeline.
+func TwitterCorpus(cfg TwitterConfig) *TwitterDataset { return dataset.Twitter(cfg) }
