@@ -166,7 +166,7 @@ func BenchmarkFig12ScaleNDelta(b *testing.B) {
 func BenchmarkAblationEngine(b *testing.B) {
 	g := benchGraph(b, 500)
 	x, y := benchStatePair(b, g, 40)
-	for _, engine := range []core.Engine{core.EngineBipartite, core.EngineNetwork, core.EngineDense} {
+	for _, engine := range []core.ComputeEngine{core.EngineBipartite, core.EngineNetwork, core.EngineDense} {
 		opts := DefaultOptions()
 		opts.Engine = engine
 		b.Run(engine.String(), func(b *testing.B) {
@@ -236,6 +236,70 @@ func BenchmarkAblationBanks(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			benchDistance(b, g, x, y, opts)
 		})
+	}
+}
+
+// --- Engine (parallel batch) benchmarks ---
+
+func benchSeriesStates(b *testing.B, g *Graph, count int) []State {
+	b.Helper()
+	ev := NewEvolution(g, g.N()/10, 13)
+	states := make([]State, count)
+	for i := range states {
+		states[i] = ev.StepSample(g.N()/20, 0.15, 0.01)
+	}
+	return states
+}
+
+// BenchmarkSeriesSequential is the pre-engine baseline: one sequential
+// Distance call per adjacent pair.
+func BenchmarkSeriesSequential(b *testing.B) {
+	g := benchGraph(b, 2000)
+	states := benchSeriesStates(b, g, 10)
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+1 < len(states); j++ {
+			if _, err := Distance(g, states[j], states[j+1], opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSeriesEngine runs the same series on the concurrent engine
+// at several worker counts (workers=1 isolates scratch/cache reuse;
+// workers=NumCPU adds multicore scheduling).
+func BenchmarkSeriesEngine(b *testing.B) {
+	g := benchGraph(b, 2000)
+	states := benchSeriesStates(b, g, 10)
+	for _, workers := range []int{1, 0} {
+		e := NewEngine(g, DefaultOptions(), EngineConfig{Workers: workers})
+		b.Run(sizeName("workers", e.Workers()), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Series(states); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineMatrix measures the deduplicated all-pairs batch (the
+// state-index / clustering workload).
+func BenchmarkEngineMatrix(b *testing.B) {
+	g := benchGraph(b, 1000)
+	states := benchSeriesStates(b, g, 8)
+	e := NewEngine(g, DefaultOptions(), EngineConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Matrix(states); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

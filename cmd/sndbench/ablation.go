@@ -35,7 +35,7 @@ func runAblation(sc scale, seed int64) {
 			group, name, res.SND, time.Since(start).Round(time.Millisecond), res.SSSPRuns)
 	}
 
-	for _, engine := range []snd.Engine{snd.EngineBipartite, snd.EngineNetwork} {
+	for _, engine := range []snd.ComputeEngine{snd.EngineBipartite, snd.EngineNetwork} {
 		opts := snd.DefaultOptions()
 		opts.Engine = engine
 		run("engine", engine.String(), opts)

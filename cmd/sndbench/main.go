@@ -89,9 +89,10 @@ var presets = map[string]scale{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, or all")
+	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, or all")
 	preset := flag.String("preset", "small", "size preset: small, medium, paper")
 	seed := flag.Int64("seed", 42, "master random seed")
+	flag.StringVar(&benchJSONPath, "benchjson", "", "write the engine experiment's snapshot to this JSON file")
 	flag.Parse()
 
 	sc, ok := presets[*preset]
@@ -108,8 +109,9 @@ func main() {
 		"fig11":    runFig11,
 		"fig12":    runFig12,
 		"ablation": runAblation,
+		"engine":   runEngine,
 	}
-	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation"}
+	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = order

@@ -37,6 +37,14 @@
 //     exactly in time near-linear in the number of users via the
 //     Theorem 4 reduction (Options selects engines, solvers, ground
 //     -cost models, and Dijkstra heaps).
+//   - Engine: the concurrent batch compute layer. NewEngine builds a
+//     worker pool over one fixed graph; Engine.Distance evaluates the
+//     four EMD* terms of a single SND in parallel, and Engine.Pairs /
+//     Engine.Series / Engine.Matrix schedule whole batches across the
+//     workers with per-worker scratch reuse and a shared
+//     ground-distance cache. Results are bit-identical to sequential
+//     Distance loops for any worker count. The anomaly, prediction,
+//     and search pipelines below all route through it via SNDMeasure.
 //   - EMDStar: the generalized Earth Mover's Distance EMD* (eq. 4)
 //     with local bank bins, plus the classic EMD, EMD-hat and
 //     EMD-alpha variants for comparison.

@@ -45,7 +45,7 @@ func TestDistanceIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := graph.ErdosRenyi(40, 240, 1)
 	st := randState(40, 0.4, rng)
-	for _, engine := range []Engine{EngineBipartite, EngineNetwork, EngineDense} {
+	for _, engine := range []ComputeEngine{EngineBipartite, EngineNetwork, EngineDense} {
 		opts := DefaultOptions()
 		opts.Engine = engine
 		res, err := Distance(g, st, st, opts)
@@ -93,7 +93,7 @@ func TestEnginesAgree(t *testing.T) {
 		a := randState(n, 0.3+0.3*rng.Float64(), rng)
 		b := perturb(a, 1+rng.Intn(8), rng)
 		var values [3]float64
-		for i, engine := range []Engine{EngineBipartite, EngineNetwork, EngineDense} {
+		for i, engine := range []ComputeEngine{EngineBipartite, EngineNetwork, EngineDense} {
 			opts := DefaultOptions()
 			opts.Engine = engine
 			res, err := Distance(g, a, b, opts)
@@ -143,7 +143,7 @@ func TestSolversAgreeWithinEngines(t *testing.T) {
 	b := perturb(a, 6, rng)
 	var ref float64
 	first := true
-	for _, engine := range []Engine{EngineBipartite, EngineNetwork} {
+	for _, engine := range []ComputeEngine{EngineBipartite, EngineNetwork} {
 		for _, solver := range []FlowSolver{FlowSSP, FlowCostScaling} {
 			opts := DefaultOptions()
 			opts.Engine = engine
@@ -199,7 +199,7 @@ func TestDisconnectedGraph(t *testing.T) {
 	a := opinion.State{opinion.Positive, opinion.Neutral, opinion.Neutral, opinion.Neutral, opinion.Neutral, opinion.Neutral}
 	c := opinion.State{opinion.Neutral, opinion.Neutral, opinion.Neutral, opinion.Neutral, opinion.Positive, opinion.Neutral}
 	var vals []float64
-	for _, engine := range []Engine{EngineBipartite, EngineNetwork, EngineDense} {
+	for _, engine := range []ComputeEngine{EngineBipartite, EngineNetwork, EngineDense} {
 		opts := DefaultOptions()
 		opts.Engine = engine
 		res, err := Distance(g, a, c, opts)
@@ -398,7 +398,7 @@ func TestEngineAutoSwitches(t *testing.T) {
 
 func TestEngineNames(t *testing.T) {
 	names := map[string]bool{}
-	for _, e := range []Engine{EngineAuto, EngineBipartite, EngineNetwork, EngineDense} {
+	for _, e := range []ComputeEngine{EngineAuto, EngineBipartite, EngineNetwork, EngineDense} {
 		names[e.String()] = true
 	}
 	if len(names) != 4 {

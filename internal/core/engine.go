@@ -1,0 +1,416 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"snd/internal/flow"
+	"snd/internal/graph"
+	"snd/internal/opinion"
+	"snd/internal/sssp"
+)
+
+// EngineConfig sizes an Engine.
+type EngineConfig struct {
+	// Workers is the number of concurrent term evaluations. <= 0
+	// selects runtime.GOMAXPROCS(0).
+	Workers int
+	// GroundCacheBytes budgets the shared ground-distance cache (edge
+	// costs and SSSP rows keyed by reference state and opinion), which
+	// Matrix and Series hit whenever two pairs share a reference state.
+	// 0 selects 128 MiB; negative disables the cache.
+	GroundCacheBytes int64
+}
+
+const defaultGroundCacheBytes = 128 << 20
+
+// StatePair is one (A, B) input of a batch distance computation.
+type StatePair struct {
+	A, B opinion.State
+}
+
+// Engine is a reusable, concurrency-safe SND compute layer over one
+// fixed graph. It schedules the four EMD* terms of every requested
+// distance across a worker pool; each worker owns a scratch arena
+// (SSSP buffers, row storage, a reusable flow network) so the hot path
+// is allocation-free after warmup, and all workers share a bounded
+// ground-distance cache keyed by (reference state, opinion).
+//
+// All methods are safe for concurrent use and return results
+// bit-identical to sequential Distance loops, regardless of Workers.
+type Engine struct {
+	g       *graph.Digraph
+	opts    Options
+	workers int
+	cache   *groundCache
+	pool    sync.Pool // *scratch
+}
+
+// NewEngine builds an engine over g with the given SND options.
+func NewEngine(g *graph.Digraph, opts Options, cfg EngineConfig) *Engine {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var gc *groundCache
+	if cfg.GroundCacheBytes >= 0 {
+		budget := cfg.GroundCacheBytes
+		if budget == 0 {
+			budget = defaultGroundCacheBytes
+		}
+		gc = newGroundCache(budget)
+	}
+	// Build the transpose once: workers share it read-only (the lazy
+	// build inside graph.Digraph is not safe under concurrent first
+	// use). Only the bipartite pipeline reads it, so strategies that
+	// can never reach that path skip the O(N+M) duplicate.
+	dopts := opts.withDefaults()
+	if dopts.Engine == EngineAuto || dopts.Engine == EngineBipartite {
+		g.Reverse()
+	}
+	return &Engine{
+		g:       g,
+		opts:    dopts,
+		workers: workers,
+		cache:   gc,
+	}
+}
+
+// Workers returns the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Distance computes SND(a, b), evaluating the four EMD* terms of eq. 3
+// concurrently.
+func (e *Engine) Distance(a, b opinion.State) (Result, error) {
+	res, err := e.Pairs([]StatePair{{A: a, B: b}})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// Pairs computes SND for every requested pair, scheduling all 4*len
+// terms across the worker pool. Results are aligned with pairs.
+func (e *Engine) Pairs(pairs []StatePair) ([]Result, error) {
+	for i := range pairs {
+		if err := e.opts.validate(e.g, pairs[i].A, pairs[i].B); err != nil {
+			return nil, fmt.Errorf("core: pair %d: %w", i, err)
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	outs, err := e.runTerms(pairs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(pairs))
+	for i := range pairs {
+		r := &results[i]
+		r.NDelta = pairs[i].A.DiffCount(pairs[i].B)
+		for t := 0; t < 4; t++ {
+			o := outs[4*i+t]
+			r.Terms[t] = o.val
+			r.SSSPRuns += o.runs
+			r.EnginesUsed[t] = o.used
+		}
+		r.SND = (r.Terms[0] + r.Terms[1] + r.Terms[2] + r.Terms[3]) / 2
+	}
+	return results, nil
+}
+
+// Series computes the SND between every adjacent pair of states:
+// out[i] = SND(states[i], states[i+1]). Adjacent pairs share reference
+// states, so their SSSP rows and edge costs hit the ground cache.
+func (e *Engine) Series(states []opinion.State) ([]float64, error) {
+	if len(states) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 states, have %d", len(states))
+	}
+	pairs := make([]StatePair, len(states)-1)
+	for i := range pairs {
+		pairs[i] = StatePair{A: states[i], B: states[i+1]}
+	}
+	results, err := e.Pairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.SND
+	}
+	return out, nil
+}
+
+// Matrix computes the full symmetric distance matrix of the given
+// states, evaluating only the i < j pairs (SND is symmetric) and
+// mirroring. The diagonal is zero.
+func (e *Engine) Matrix(states []opinion.State) ([][]float64, error) {
+	n := len(states)
+	pairs := make([]StatePair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, StatePair{A: states[i], B: states[j]})
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, n)
+	}
+	if len(pairs) == 0 {
+		return out, nil
+	}
+	results, err := e.Pairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out[i][j] = results[k].SND
+			out[j][i] = results[k].SND
+			k++
+		}
+	}
+	return out, nil
+}
+
+// termOut is the result of one term-level task.
+type termOut struct {
+	val  float64
+	runs int
+	used ComputeEngine
+	err  error
+}
+
+// runTerms evaluates the 4*len(pairs) EMD* terms across the pool and
+// returns them indexed as outs[4*pair+term], so aggregation order (and
+// therefore every result bit) is independent of scheduling.
+func (e *Engine) runTerms(pairs []StatePair) ([]termOut, error) {
+	// Reference-state hashes key the ground cache; terms 0-1 of a pair
+	// use A's ground distance, terms 2-3 use B's.
+	hashes := make([][2]hashKey, len(pairs))
+	if e.cache != nil {
+		for i := range pairs {
+			hashes[i][0] = hashState(pairs[i].A)
+			hashes[i][1] = hashState(pairs[i].B)
+		}
+	}
+	total := 4 * len(pairs)
+	outs := make([]termOut, total)
+	workers := e.workers
+	if workers > total {
+		workers = total
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := e.getScratch()
+			defer e.pool.Put(sc)
+			for {
+				t := int(next.Add(1))
+				if t >= total {
+					return
+				}
+				pi, term := t/4, t%4
+				spec := eqSpec(pairs[pi].A, pairs[pi].B, term)
+				tc := termCtx{sc: sc, gc: e.cache}
+				if e.cache != nil {
+					tc.refHash = hashes[pi][term/2]
+				}
+				v, runs, used, err := computeTerm(e.g, spec, e.opts, tc)
+				if err != nil {
+					err = fmt.Errorf("core: pair %d term %d (%s over D(%s)): %w",
+						pi, term, spec.op, refName(term), err)
+				}
+				outs[t] = termOut{val: v, runs: runs, used: used, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	for t := range outs {
+		if outs[t].err != nil {
+			return nil, outs[t].err
+		}
+	}
+	return outs, nil
+}
+
+func (e *Engine) getScratch() *scratch {
+	if sc, ok := e.pool.Get().(*scratch); ok {
+		return sc
+	}
+	return &scratch{}
+}
+
+// eqSpec returns the term-th EMD* term of eq. 3 for the pair (a, b).
+func eqSpec(a, b opinion.State, term int) termSpec {
+	switch term {
+	case 0:
+		return termSpec{op: opinion.Positive, p: a, q: b, ref: a}
+	case 1:
+		return termSpec{op: opinion.Negative, p: a, q: b, ref: a}
+	case 2:
+		return termSpec{op: opinion.Positive, p: b, q: a, ref: b}
+	default:
+		return termSpec{op: opinion.Negative, p: b, q: a, ref: b}
+	}
+}
+
+// eqSpecs returns all four eq. 3 terms for the pair (a, b).
+func eqSpecs(a, b opinion.State) [4]termSpec {
+	return [4]termSpec{eqSpec(a, b, 0), eqSpec(a, b, 1), eqSpec(a, b, 2), eqSpec(a, b, 3)}
+}
+
+// scratch is one worker's reusable arena: SSSP distance/parent buffers,
+// bulk row storage for ground-distance rows, and a flow network whose
+// arc banks and solver buffers survive across term solves.
+type scratch struct {
+	res    sssp.Result
+	nw     *flow.Network
+	rowBuf []int64
+}
+
+// network returns a flow network with n nodes and room for hintArcs
+// arcs, reusing the worker's previous network when possible.
+func (sc *scratch) network(n, hintArcs int) *flow.Network {
+	if sc == nil {
+		return flow.NewNetwork(n, hintArcs)
+	}
+	if sc.nw == nil {
+		sc.nw = flow.NewNetwork(n, hintArcs)
+		return sc.nw
+	}
+	sc.nw.Reset(n, hintArcs)
+	return sc.nw
+}
+
+// resetRows recycles the row arena; rows handed out earlier in the same
+// term must no longer be referenced.
+func (sc *scratch) resetRows() {
+	if sc != nil {
+		sc.rowBuf = sc.rowBuf[:0]
+	}
+}
+
+// takeRow returns an n-sized row from the arena, growing it as needed.
+func (sc *scratch) takeRow(n int) []int64 {
+	if sc == nil {
+		return make([]int64, n)
+	}
+	if len(sc.rowBuf)+n > cap(sc.rowBuf) {
+		grow := 2 * cap(sc.rowBuf)
+		if grow < 64*n {
+			grow = 64 * n
+		}
+		// Rows already handed out keep their old backing array alive;
+		// only future rows land in the new block.
+		sc.rowBuf = make([]int64, 0, grow)
+	}
+	off := len(sc.rowBuf)
+	sc.rowBuf = sc.rowBuf[:off+n]
+	return sc.rowBuf[off : off+n : off+n]
+}
+
+// --- ground-distance cache ---
+
+// hashKey is a 128-bit state fingerprint (two independent 64-bit
+// hashes), which makes silent collisions across reference states
+// negligible without retaining the states themselves.
+type hashKey [2]uint64
+
+func hashState(st opinion.State) hashKey {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h1 := uint64(fnvOffset)
+	h2 := uint64(len(st)) + 0x9e3779b97f4a7c15
+	for _, o := range st {
+		h1 = (h1 ^ uint64(uint8(o))) * fnvPrime
+		h2 += uint64(uint8(o)) + 0x9e3779b97f4a7c15 + (h2 << 6) + (h2 >> 2)
+	}
+	return hashKey{h1, h2}
+}
+
+type weightKey struct {
+	ref      hashKey
+	op       opinion.Opinion
+	reversed bool
+}
+
+type rowKey struct {
+	ref      hashKey
+	op       opinion.Opinion
+	reversed bool
+	src      int32
+}
+
+// groundCache shares SSSP rows and per-edge ground costs across the
+// terms of a batch. Entries are immutable after insertion; once the
+// byte budget is spent, further inserts are dropped (batch workloads
+// revisit early reference states, so first-come retention suffices).
+type groundCache struct {
+	mu      sync.RWMutex
+	budget  int64
+	weights map[weightKey][]int32
+	rows    map[rowKey][]int64
+}
+
+func newGroundCache(budget int64) *groundCache {
+	return &groundCache{
+		budget:  budget,
+		weights: make(map[weightKey][]int32),
+		rows:    make(map[rowKey][]int64),
+	}
+}
+
+func (c *groundCache) getWeights(k weightKey) ([]int32, bool) {
+	c.mu.RLock()
+	w, ok := c.weights[k]
+	c.mu.RUnlock()
+	return w, ok
+}
+
+func (c *groundCache) putWeights(k weightKey, w []int32) {
+	cost := int64(len(w)) * 4
+	c.mu.Lock()
+	if _, dup := c.weights[k]; !dup && c.budget >= cost {
+		c.budget -= cost
+		c.weights[k] = w
+	}
+	c.mu.Unlock()
+}
+
+// hasBudget reports whether an insert of the given byte cost would
+// currently fit. It is advisory (the budget can drain between check
+// and put); callers use it to pick arena storage over a doomed heap
+// allocation once the cache fills.
+func (c *groundCache) hasBudget(cost int64) bool {
+	c.mu.RLock()
+	ok := c.budget >= cost
+	c.mu.RUnlock()
+	return ok
+}
+
+func (c *groundCache) getRow(k rowKey) ([]int64, bool) {
+	c.mu.RLock()
+	r, ok := c.rows[k]
+	c.mu.RUnlock()
+	return r, ok
+}
+
+func (c *groundCache) putRow(k rowKey, row []int64) {
+	cost := int64(len(row)) * 8
+	c.mu.Lock()
+	if _, dup := c.rows[k]; !dup && c.budget >= cost {
+		c.budget -= cost
+		c.rows[k] = row
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+)
+
+func engineTestGraph(n int, seed int64) *graph.Digraph {
+	return graph.ScaleFree(graph.ScaleFreeConfig{
+		N: n, OutDeg: 5, Exponent: -2.3, Reciprocity: 0.2, Seed: seed,
+	})
+}
+
+func engineTestStates(n, count, flips int, seed int64) []opinion.State {
+	rng := rand.New(rand.NewSource(seed))
+	states := make([]opinion.State, count)
+	states[0] = randState(n, 0.3, rng)
+	for i := 1; i < count; i++ {
+		states[i] = perturb(states[i-1], flips, rng)
+	}
+	return states
+}
+
+func engineTestOptions(g *graph.Digraph) []Options {
+	def := DefaultOptions()
+	bip := DefaultOptions()
+	bip.Engine = EngineBipartite
+	net := DefaultOptions()
+	net.Engine = EngineNetwork
+	clustered := DefaultOptions()
+	labels := make([]int, g.N())
+	for i := range labels {
+		labels[i] = i % 16
+	}
+	clustered.Clusters = labels
+	return []Options{def, bip, net, clustered}
+}
+
+// TestEnginePairsMatchesSequential pins the engine's core contract:
+// batch results are bit-identical to a sequential Distance loop, for
+// every engine strategy and bank clustering.
+func TestEnginePairsMatchesSequential(t *testing.T) {
+	g := engineTestGraph(300, 7)
+	states := engineTestStates(g.N(), 6, 25, 8)
+	var pairs []StatePair
+	for i := 0; i+1 < len(states); i++ {
+		pairs = append(pairs, StatePair{A: states[i], B: states[i+1]})
+	}
+	for oi, opts := range engineTestOptions(g) {
+		e := NewEngine(g, opts, EngineConfig{Workers: 4})
+		got, err := e.Pairs(pairs)
+		if err != nil {
+			t.Fatalf("opts %d: Pairs: %v", oi, err)
+		}
+		for i, p := range pairs {
+			want, err := Distance(g, p.A, p.B, opts)
+			if err != nil {
+				t.Fatalf("opts %d: Distance %d: %v", oi, i, err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("opts %d pair %d: engine %+v != sequential %+v", oi, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestEngineMatrixMatchesSequential checks the deduplicated symmetric
+// matrix against pairwise sequential Distance.
+func TestEngineMatrixMatchesSequential(t *testing.T) {
+	g := engineTestGraph(200, 9)
+	states := engineTestStates(g.N(), 5, 20, 10)
+	opts := DefaultOptions()
+	e := NewEngine(g, opts, EngineConfig{Workers: 3})
+	m, err := e.Matrix(states)
+	if err != nil {
+		t.Fatalf("Matrix: %v", err)
+	}
+	for i := range states {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v, want 0", i, i, m[i][i])
+		}
+		for j := i + 1; j < len(states); j++ {
+			if m[i][j] != m[j][i] {
+				t.Errorf("matrix not symmetric at (%d,%d): %v vs %v", i, j, m[i][j], m[j][i])
+			}
+			want, err := Distance(g, states[i], states[j], opts)
+			if err != nil {
+				t.Fatalf("Distance(%d,%d): %v", i, j, err)
+			}
+			if m[i][j] != want.SND {
+				t.Errorf("matrix[%d][%d] = %v, sequential = %v", i, j, m[i][j], want.SND)
+			}
+		}
+	}
+}
+
+// TestEngineSeriesMatchesSequential checks the parallel series against
+// the adjacent-pair Distance loop.
+func TestEngineSeriesMatchesSequential(t *testing.T) {
+	g := engineTestGraph(250, 11)
+	states := engineTestStates(g.N(), 8, 15, 12)
+	opts := DefaultOptions()
+	e := NewEngine(g, opts, EngineConfig{})
+	got, err := e.Series(states)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	for i := 0; i+1 < len(states); i++ {
+		want, err := Distance(g, states[i], states[i+1], opts)
+		if err != nil {
+			t.Fatalf("Distance step %d: %v", i, err)
+		}
+		if got[i] != want.SND {
+			t.Errorf("series[%d] = %v, sequential = %v", i, got[i], want.SND)
+		}
+	}
+}
+
+// TestEngineWorkerDeterminism pins bit-identical output across worker
+// counts (and therefore across schedulings).
+func TestEngineWorkerDeterminism(t *testing.T) {
+	g := engineTestGraph(300, 13)
+	states := engineTestStates(g.N(), 6, 30, 14)
+	var pairs []StatePair
+	for i := 0; i+1 < len(states); i++ {
+		pairs = append(pairs, StatePair{A: states[i], B: states[i+1]})
+	}
+	opts := DefaultOptions()
+	var baseline []Result
+	for _, workers := range []int{1, 2, 8} {
+		e := NewEngine(g, opts, EngineConfig{Workers: workers})
+		got, err := e.Pairs(pairs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if baseline == nil {
+			baseline = got
+			continue
+		}
+		if !reflect.DeepEqual(got, baseline) {
+			t.Errorf("workers=%d results differ from workers=1", workers)
+		}
+	}
+}
+
+// TestEngineCacheDisabledMatches checks the ground-distance cache is
+// purely an optimization: disabling it changes nothing.
+func TestEngineCacheDisabledMatches(t *testing.T) {
+	g := engineTestGraph(250, 15)
+	states := engineTestStates(g.N(), 6, 20, 16)
+	opts := DefaultOptions()
+	cached := NewEngine(g, opts, EngineConfig{Workers: 4})
+	uncached := NewEngine(g, opts, EngineConfig{Workers: 4, GroundCacheBytes: -1})
+	a, err := cached.Series(states)
+	if err != nil {
+		t.Fatalf("cached: %v", err)
+	}
+	b, err := uncached.Series(states)
+	if err != nil {
+		t.Fatalf("uncached: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("cache changed results: %v vs %v", a, b)
+	}
+	// Exercise the cache-hit path a second time on the same engine.
+	c, err := cached.Series(states)
+	if err != nil {
+		t.Fatalf("cached rerun: %v", err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Errorf("warm cache changed results: %v vs %v", a, c)
+	}
+}
+
+// TestEngineScratchReuse runs enough batches on one engine that worker
+// scratch (rows, flow networks, SSSP buffers) is recycled across terms
+// with different reduced-instance sizes.
+func TestEngineScratchReuse(t *testing.T) {
+	g := engineTestGraph(200, 17)
+	rng := rand.New(rand.NewSource(18))
+	e := NewEngine(g, DefaultOptions(), EngineConfig{Workers: 2, GroundCacheBytes: -1})
+	base := randState(g.N(), 0.3, rng)
+	for _, flips := range []int{2, 50, 5, 120, 1} {
+		next := perturb(base, flips, rng)
+		got, err := e.Distance(base, next)
+		if err != nil {
+			t.Fatalf("flips=%d: %v", flips, err)
+		}
+		want, err := Distance(g, base, next, DefaultOptions())
+		if err != nil {
+			t.Fatalf("flips=%d sequential: %v", flips, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("flips=%d: engine %+v != sequential %+v", flips, got, want)
+		}
+		base = next
+	}
+}
+
+// TestEngineValidation checks batch inputs are validated per pair.
+func TestEngineValidation(t *testing.T) {
+	g := engineTestGraph(50, 19)
+	e := NewEngine(g, DefaultOptions(), EngineConfig{})
+	short := opinion.NewState(10)
+	ok := opinion.NewState(g.N())
+	if _, err := e.Pairs([]StatePair{{A: ok, B: ok}, {A: ok, B: short}}); err == nil {
+		t.Error("expected validation error for mismatched state length")
+	}
+	if _, err := e.Series([]opinion.State{ok}); err == nil {
+		t.Error("expected error for single-state series")
+	}
+	if res, err := e.Pairs(nil); err != nil || res != nil {
+		t.Errorf("empty batch: got %v, %v", res, err)
+	}
+}
+
+// TestEngineMatrixTiny covers the no-pair edge cases.
+func TestEngineMatrixTiny(t *testing.T) {
+	g := engineTestGraph(50, 21)
+	e := NewEngine(g, DefaultOptions(), EngineConfig{})
+	st := randState(g.N(), 0.4, rand.New(rand.NewSource(22)))
+	m, err := e.Matrix([]opinion.State{st})
+	if err != nil {
+		t.Fatalf("Matrix(1): %v", err)
+	}
+	if len(m) != 1 || m[0][0] != 0 {
+		t.Errorf("Matrix(1) = %v, want [[0]]", m)
+	}
+}
+
+// TestHashStateDistinguishes sanity-checks the 128-bit fingerprint.
+func TestHashStateDistinguishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	seen := map[hashKey]bool{}
+	st := randState(500, 0.4, rng)
+	seen[hashState(st)] = true
+	for i := 0; i < 200; i++ {
+		mod := perturb(st, 1+rng.Intn(3), rng)
+		if mod.DiffCount(st) == 0 {
+			continue
+		}
+		h := hashState(mod)
+		if h == hashState(st) {
+			t.Fatalf("collision between distinct states at iteration %d", i)
+		}
+		seen[h] = true
+	}
+	if hashState(st) != hashState(st.Clone()) {
+		t.Error("equal states must hash equal")
+	}
+}

@@ -45,12 +45,7 @@ func Explain(g *graph.Digraph, a, b opinion.State, opts Options) (Result, [4]Ter
 	if err := opts.validate(g, a, b); err != nil {
 		return Result{}, [4]TermPlan{}, err
 	}
-	specs := [4]termSpec{
-		{op: opinion.Positive, p: a, q: b, ref: a},
-		{op: opinion.Negative, p: a, q: b, ref: a},
-		{op: opinion.Positive, p: b, q: a, ref: b},
-		{op: opinion.Negative, p: b, q: a, ref: b},
-	}
+	specs := eqSpecs(a, b)
 	var res Result
 	var plans [4]TermPlan
 	res.NDelta = a.DiffCount(b)
@@ -86,7 +81,7 @@ func Explain(g *graph.Digraph, a, b opinion.State, opts Options) (Result, [4]Ter
 // termBipartiteCollect runs the bipartite pipeline and harvests the
 // per-arc flows into user-level moves.
 func termBipartiteCollect(g *graph.Digraph, spec termSpec, red reduction, o Options, out *[]Move) (float64, int, error) {
-	v, runs, nw, arcs, err := termBipartiteNetwork(g, spec, red, o)
+	v, runs, nw, arcs, err := termBipartiteNetwork(g, spec, red, o, termCtx{})
 	if err != nil {
 		return 0, runs, err
 	}

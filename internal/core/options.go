@@ -46,12 +46,12 @@ import (
 )
 
 // Engine selects the SND computation strategy.
-type Engine int
+type ComputeEngine int
 
 const (
 	// EngineAuto picks EngineBipartite when the reduced instance is
 	// small enough and EngineNetwork otherwise.
-	EngineAuto Engine = iota
+	EngineAuto ComputeEngine = iota
 	// EngineBipartite is the Theorem 4 SSSP + reduced-flow pipeline.
 	EngineBipartite
 	// EngineNetwork routes mass through the graph directly.
@@ -61,7 +61,7 @@ const (
 )
 
 // String names the engine.
-func (e Engine) String() string {
+func (e ComputeEngine) String() string {
 	switch e {
 	case EngineBipartite:
 		return "bipartite"
@@ -113,7 +113,7 @@ type Options struct {
 	// relative to placement.
 	Gamma int64
 	// Engine selects the computation strategy.
-	Engine Engine
+	Engine ComputeEngine
 	// Solver selects the min-cost-flow algorithm for fast engines.
 	Solver FlowSolver
 	// Heap selects the Dijkstra priority queue for the SSSP runs.
@@ -194,8 +194,12 @@ type Result struct {
 	// NDelta is the number of users whose opinion differs between the
 	// two states.
 	NDelta int
-	// SSSPRuns counts single-source shortest-path computations.
+	// SSSPRuns counts the single-source shortest-path computations the
+	// evaluation charges. Engine batches may serve some of them from
+	// the ground-distance cache, but the charge is reported either way
+	// so results stay identical across engines, worker counts, and
+	// cache configurations.
 	SSSPRuns int
 	// Engine records the engine that produced each term.
-	EnginesUsed [4]Engine
+	EnginesUsed [4]ComputeEngine
 }

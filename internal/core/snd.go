@@ -18,16 +18,11 @@ func Distance(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error
 	if err := opts.validate(g, a, b); err != nil {
 		return Result{}, err
 	}
-	specs := [4]termSpec{
-		{op: opinion.Positive, p: a, q: b, ref: a},
-		{op: opinion.Negative, p: a, q: b, ref: a},
-		{op: opinion.Positive, p: b, q: a, ref: b},
-		{op: opinion.Negative, p: b, q: a, ref: b},
-	}
+	specs := eqSpecs(a, b)
 	var res Result
 	res.NDelta = a.DiffCount(b)
 	for i, spec := range specs {
-		v, runs, used, err := computeTerm(g, spec, opts)
+		v, runs, used, err := computeTerm(g, spec, opts, termCtx{})
 		if err != nil {
 			return Result{}, fmt.Errorf("core: term %d (%s over D(%s)): %w", i, spec.op, refName(i), err)
 		}
@@ -56,12 +51,7 @@ func Direct(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error) 
 	if err := opts.validate(g, a, b); err != nil {
 		return Result{}, err
 	}
-	specs := [4]termSpec{
-		{op: opinion.Positive, p: a, q: b, ref: a},
-		{op: opinion.Negative, p: a, q: b, ref: a},
-		{op: opinion.Positive, p: b, q: a, ref: b},
-		{op: opinion.Negative, p: b, q: a, ref: b},
-	}
+	specs := eqSpecs(a, b)
 	var res Result
 	res.NDelta = a.DiffCount(b)
 	maxCost := opts.Costs.MaxCost()
@@ -95,18 +85,9 @@ func Direct(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error) 
 }
 
 // Series computes the distances between every adjacent pair of a state
-// series: out[i] = SND(states[i], states[i+1]).
+// series: out[i] = SND(states[i], states[i+1]). It runs on a default
+// Engine (one worker per CPU); construct an Engine directly to control
+// worker count and cache budget across many series.
 func Series(g *graph.Digraph, states []opinion.State, opts Options) ([]float64, error) {
-	if len(states) < 2 {
-		return nil, fmt.Errorf("core: need at least 2 states, have %d", len(states))
-	}
-	out := make([]float64, len(states)-1)
-	for i := 0; i+1 < len(states); i++ {
-		r, err := Distance(g, states[i], states[i+1], opts)
-		if err != nil {
-			return nil, fmt.Errorf("core: series step %d: %w", i, err)
-		}
-		out[i] = r.SND
-	}
-	return out, nil
+	return NewEngine(g, opts, EngineConfig{}).Series(states)
 }

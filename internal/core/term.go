@@ -121,9 +121,43 @@ func infCost(n int, maxEdgeCost int64, escapeHops int) int64 {
 	return hops * maxEdgeCost
 }
 
+// termCtx threads an engine worker's scratch arena and the engine's
+// shared ground-distance cache into a term computation. The zero value
+// (no reuse, no cache) reproduces the standalone sequential behavior.
+type termCtx struct {
+	sc *scratch
+	gc *groundCache
+	// refHash fingerprints spec.ref; only meaningful when gc != nil.
+	refHash hashKey
+}
+
+// groundWeights returns the eq. 2 edge costs of spec's ground distance
+// in forward or reverse CSR order, consulting the cache when present.
+func (tc termCtx) groundWeights(g *graph.Digraph, spec termSpec, o Options, reversed bool) []int32 {
+	if tc.gc == nil {
+		w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
+		if reversed {
+			return graph.PermuteToReverse(g, w)
+		}
+		return w
+	}
+	k := weightKey{ref: tc.refHash, op: spec.op, reversed: reversed}
+	if w, ok := tc.gc.getWeights(k); ok {
+		return w
+	}
+	var w []int32
+	if reversed {
+		w = graph.PermuteToReverse(g, tc.groundWeights(g, spec, o, false))
+	} else {
+		w = o.Costs.EdgeCosts(g, spec.ref, spec.op)
+	}
+	tc.gc.putWeights(k, w)
+	return w
+}
+
 // computeTerm evaluates one EMD* term. It returns the term value, the
-// number of SSSP runs performed, and the engine used.
-func computeTerm(g *graph.Digraph, spec termSpec, o Options) (float64, int, Engine, error) {
+// number of SSSP runs charged, and the engine used.
+func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float64, int, ComputeEngine, error) {
 	n := g.N()
 	red := reduce(spec, o.Clusters, n)
 	if len(red.S) == 0 && len(red.C) == 0 && len(red.banks) == 0 {
@@ -155,10 +189,10 @@ func computeTerm(g *graph.Digraph, spec termSpec, o Options) (float64, int, Engi
 	}
 	switch engine {
 	case EngineBipartite:
-		v, runs, err := termBipartite(g, spec, red, o)
+		v, runs, err := termBipartite(g, spec, red, o, tc)
 		return v, runs, engine, err
 	case EngineNetwork:
-		v, err := termNetwork(g, spec, red, o)
+		v, err := termNetwork(g, spec, red, o, tc)
 		return v, 0, engine, err
 	case EngineDense:
 		v, err := termDense(g, spec, o)
@@ -172,36 +206,59 @@ func computeTerm(g *graph.Digraph, spec termSpec, o Options) (float64, int, Engi
 // supplier (forward) or per residual consumer (reverse, when the banks
 // sit on the supplier side), then an integer min-cost flow over the
 // reduced bipartite instance.
-func termBipartite(g *graph.Digraph, spec termSpec, red reduction, o Options) (float64, int, error) {
-	v, runs, _, _, err := termBipartiteNetwork(g, spec, red, o)
+func termBipartite(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx) (float64, int, error) {
+	v, runs, _, _, err := termBipartiteNetwork(g, spec, red, o, tc)
 	return v, runs, err
 }
 
 // termBipartiteNetwork is termBipartite exposing the solved flow
 // network and the user-level meaning of every arc, for Explain.
-func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options) (float64, int, *flow.Network, []arcRef, error) {
-	w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
+func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx) (float64, int, *flow.Network, []arcRef, error) {
 	maxCost := o.Costs.MaxCost()
 	inf := infCost(g.N(), maxCost, o.EscapeHops)
 
 	// dist(i, j) below means shortest path from supplier-side entity i
 	// to consumer-side entity j in the ground distance.
 	var srcGraph = g
-	var srcW = w
 	sources := red.S
-	if red.banksOnSupplier {
+	reversed := red.banksOnSupplier
+	if reversed {
 		// Reverse runs: dist(x -> c) for every x, per consumer c.
 		srcGraph = g.Reverse()
-		srcW = graph.PermuteToReverse(g, w)
 		sources = red.C
 	}
+	srcW := tc.groundWeights(g, spec, o, reversed)
+	tc.sc.resetRows()
 	rows := make([][]int64, len(sources))
-	var res sssp.Result
+	var localRes sssp.Result
+	res := &localRes
+	if tc.sc != nil {
+		res = &tc.sc.res
+	}
 	for i, s := range sources {
-		sssp.DijkstraInto(srcGraph, srcW, int(s), o.Heap, maxCost, &res)
-		row := make([]int64, len(res.Dist))
-		copy(row, res.Dist)
-		rows[i] = row
+		var rk rowKey
+		if tc.gc != nil {
+			rk = rowKey{ref: tc.refHash, op: spec.op, reversed: reversed, src: s}
+			if row, ok := tc.gc.getRow(rk); ok {
+				rows[i] = row
+				continue
+			}
+		}
+		sssp.DijkstraInto(srcGraph, srcW, int(s), o.Heap, maxCost, res)
+		if tc.gc != nil && tc.gc.hasBudget(int64(len(res.Dist))*8) {
+			// Cached rows must outlive this term, so they get their own
+			// allocation rather than arena storage.
+			row := make([]int64, len(res.Dist))
+			copy(row, res.Dist)
+			tc.gc.putRow(rk, row)
+			rows[i] = row
+		} else {
+			// No cache, or its budget is spent: keep the row in the
+			// worker's arena instead of allocating garbage per SSSP.
+			row := tc.sc.takeRow(len(res.Dist))
+			copy(row, res.Dist)
+			rows[i] = row
+		}
 	}
 	capDist := func(d int64) int64 {
 		if d >= sssp.Unreachable || d > inf {
@@ -242,7 +299,7 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 	var nw *flow.Network
 	var arcs []arcRef
 	if red.banksOnSupplier {
-		nw = flow.NewNetwork(nS+nB+nC, (nS+nB)*nC)
+		nw = tc.sc.network(nS+nB+nC, (nS+nB)*nC)
 		for i := 0; i < nS; i++ {
 			nw.SetExcess(i, red.scale)
 		}
@@ -274,7 +331,7 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 			}
 		}
 	} else {
-		nw = flow.NewNetwork(nS+nC+nB, nS*(nC+nB))
+		nw = tc.sc.network(nS+nC+nB, nS*(nC+nB))
 		for i := 0; i < nS; i++ {
 			nw.SetExcess(i, red.scale)
 		}
@@ -316,8 +373,8 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 // member users with gamma-cost arcs, and an escape node guarantees
 // feasibility on disconnected graphs at the same saturated cost the
 // bipartite engine uses for unreachable pairs.
-func termNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options) (float64, error) {
-	w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
+func termNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx) (float64, error) {
+	w := tc.groundWeights(g, spec, o, false)
 	maxCost := o.Costs.MaxCost()
 	inf := infCost(g.N(), maxCost, o.EscapeHops)
 	n := g.N()
@@ -326,7 +383,7 @@ func termNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options) (flo
 	numNodes := n + nB + 1
 
 	totalFlow := int64(len(red.S))*red.scale + bankUnits(red)
-	nw := flow.NewNetwork(numNodes, g.M()+2*numNodes+nB*4)
+	nw := tc.sc.network(numNodes, g.M()+2*numNodes+nB*4)
 	for u := 0; u < n; u++ {
 		lo, hi := g.EdgeRange(u)
 		for e := lo; e < hi; e++ {

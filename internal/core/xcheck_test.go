@@ -16,7 +16,7 @@ func TestEnginesAgreeMedium(t *testing.T) {
 		a := randState(n, 0.2+0.3*rng.Float64(), rng)
 		b := perturb(a, 10+rng.Intn(40), rng)
 		var vals [2]Result
-		for i, engine := range []Engine{EngineBipartite, EngineNetwork} {
+		for i, engine := range []ComputeEngine{EngineBipartite, EngineNetwork} {
 			opts := DefaultOptions()
 			opts.Engine = engine
 			res, err := Distance(g, a, b, opts)

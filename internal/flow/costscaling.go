@@ -21,7 +21,8 @@ func (nw *Network) SolveCostScaling() (int64, error) {
 	n := nw.numNodes
 	scale := int64(n + 1)
 	// Scaled costs; prices live in the scaled domain too.
-	scost := make([]int64, len(nw.cost))
+	nw.scCost = growInt64(nw.scCost, len(nw.cost))
+	scost := nw.scCost
 	var eps int64 = 1
 	for a, c := range nw.cost {
 		sc := c * scale
@@ -32,13 +33,27 @@ func (nw *Network) SolveCostScaling() (int64, error) {
 			eps = -sc
 		}
 	}
-	price := make([]int64, n)
-	ex := append([]int64(nil), nw.excess...)
+	nw.scPrice = growInt64(nw.scPrice, n)
+	price := nw.scPrice
+	nw.scEx = growInt64(nw.scEx, n)
+	ex := nw.scEx
+	for i := 0; i < n; i++ {
+		price[i] = 0
+		ex[i] = nw.excess[i]
+	}
 
-	queue := make([]int32, 0, n)
-	inQueue := make([]bool, n)
+	if cap(nw.scQueue) < n {
+		nw.scQueue = make([]int32, 0, n)
+	}
+	queue := nw.scQueue[:0]
+	nw.scInQueue = growBool(nw.scInQueue, n)
+	inQueue := nw.scInQueue
+	for i := range inQueue[:n] {
+		inQueue[i] = false
+	}
 	// current-arc pointers for the arc heuristic
-	cur := make([]int32, n)
+	nw.scCur = growInt32(nw.scCur, n)
+	cur := nw.scCur
 
 	relabelBudget := int64(0)
 	for eps >= 1 {

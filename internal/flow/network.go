@@ -29,6 +29,19 @@ type Network struct {
 
 	excess []int64
 	price  []int64 // node potentials (shared by both solvers)
+
+	// Solver scratch, reused across solves and across Reset so a
+	// long-lived Network (one per engine worker) goes allocation-free
+	// after warmup.
+	scDist    []int64
+	scVisited []bool
+	scParent  []int32
+	scEx      []int64
+	scCost    []int64
+	scPrice   []int64
+	scQueue   []int32
+	scInQueue []bool
+	scCur     []int32
 }
 
 // NewNetwork returns an empty network with n nodes and capacity hints
@@ -48,6 +61,53 @@ func NewNetwork(n, hintArcs int) *Network {
 		excess:   make([]int64, n),
 		price:    make([]int64, n),
 	}
+}
+
+// Reset re-dimensions the network to n nodes with arc storage for
+// hintArcs arcs, dropping every arc, excess, and price while keeping
+// the underlying allocations. It lets a worker reuse one Network
+// across many term solves instead of allocating a fresh one each time.
+func (nw *Network) Reset(n, hintArcs int) {
+	nw.numNodes = n
+	nw.to = nw.to[:0]
+	nw.res = nw.res[:0]
+	nw.cost = nw.cost[:0]
+	nw.nextArc = nw.nextArc[:0]
+	if cap(nw.to) < 2*hintArcs {
+		nw.to = make([]int32, 0, 2*hintArcs)
+		nw.res = make([]int64, 0, 2*hintArcs)
+		nw.cost = make([]int64, 0, 2*hintArcs)
+		nw.nextArc = make([]int32, 0, 2*hintArcs)
+	}
+	nw.firstArc = growInt32(nw.firstArc, n)
+	nw.excess = growInt64(nw.excess, n)
+	nw.price = growInt64(nw.price, n)
+	for i := 0; i < n; i++ {
+		nw.firstArc[i] = -1
+		nw.excess[i] = 0
+		nw.price[i] = 0
+	}
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 // N returns the node count.
@@ -123,13 +183,16 @@ func (nw *Network) SolveSSP(kind pqueue.Kind, maxArcCost int64) (int64, error) {
 		kind = pqueue.KindRadix
 	}
 	n := nw.numNodes
-	ex := append([]int64(nil), nw.excess...)
+	nw.scEx = growInt64(nw.scEx, n)
+	ex := nw.scEx
+	copy(ex, nw.excess[:n])
 	for i := range nw.price {
 		nw.price[i] = 0
 	}
-	dist := make([]int64, n)
-	visited := make([]bool, n)
-	parentArc := make([]int32, n)
+	nw.scDist = growInt64(nw.scDist, n)
+	nw.scVisited = growBool(nw.scVisited, n)
+	nw.scParent = growInt32(nw.scParent, n)
+	dist, visited, parentArc := nw.scDist, nw.scVisited, nw.scParent
 	q := pqueue.New(kind, maxArcCost, n)
 	remaining := supply
 	for remaining > 0 {

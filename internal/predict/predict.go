@@ -34,10 +34,15 @@ type StateDistance interface {
 	Name() string
 }
 
-// SNDMeasure adapts core.Distance to the StateDistance interface.
+// SNDMeasure adapts SND to the StateDistance interface. When Engine is
+// set, every call runs on its worker pool (with scratch reuse and
+// ground-distance caching) and the batch entry points Series and
+// DistancePairs parallelize across all requested pairs; otherwise each
+// call falls back to sequential core.Distance.
 type SNDMeasure struct {
-	G    *graph.Digraph
-	Opts core.Options
+	G      *graph.Digraph
+	Opts   core.Options
+	Engine *core.Engine
 }
 
 // Name implements StateDistance.
@@ -45,11 +50,60 @@ func (SNDMeasure) Name() string { return "snd" }
 
 // Distance implements StateDistance.
 func (m SNDMeasure) Distance(a, b opinion.State) (float64, error) {
-	res, err := core.Distance(m.G, a, b, m.Opts)
+	var res core.Result
+	var err error
+	if m.Engine != nil {
+		res, err = m.Engine.Distance(a, b)
+	} else {
+		res, err = core.Distance(m.G, a, b, m.Opts)
+	}
 	if err != nil {
 		return 0, err
 	}
 	return res.SND, nil
+}
+
+// Series returns the distances between every adjacent pair of states.
+func (m SNDMeasure) Series(states []opinion.State) ([]float64, error) {
+	if m.Engine != nil {
+		return m.Engine.Series(states)
+	}
+	return core.Series(m.G, states, m.Opts)
+}
+
+// DistancePairs evaluates every requested (A, B) pair, scheduling all
+// of them across the engine's workers when one is attached.
+func (m SNDMeasure) DistancePairs(pairs [][2]opinion.State) ([]float64, error) {
+	if m.Engine != nil {
+		sp := make([]core.StatePair, len(pairs))
+		for i, p := range pairs {
+			sp[i] = core.StatePair{A: p[0], B: p[1]}
+		}
+		results, err := m.Engine.Pairs(sp)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(results))
+		for i, r := range results {
+			out[i] = r.SND
+		}
+		return out, nil
+	}
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		v, err := m.Distance(p[0], p[1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// PairDistancer is satisfied by measures that can evaluate many state
+// pairs in one batch (SNDMeasure with an attached engine).
+type PairDistancer interface {
+	DistancePairs(pairs [][2]opinion.State) ([]float64, error)
 }
 
 // Predictor predicts the opinions of target users in the current
@@ -84,42 +138,84 @@ func (d DistanceBased) Predict(past []opinion.State, current opinion.State, targ
 	}
 	rng := rand.New(rand.NewSource(d.Seed))
 	// Distances between adjacent past states, extrapolated one step.
-	dists := make([]float64, 0, len(past)-1)
-	for i := 0; i+1 < len(past); i++ {
-		v, err := d.Measure.Distance(past[i], past[i+1])
-		if err != nil {
-			return nil, err
+	var dists []float64
+	var err error
+	if sm, ok := d.Measure.(seriesDistancer); ok {
+		dists, err = sm.Series(past)
+	} else {
+		dists = make([]float64, 0, len(past)-1)
+		for i := 0; i+1 < len(past); i++ {
+			v, verr := d.Measure.Distance(past[i], past[i+1])
+			if verr != nil {
+				return nil, verr
+			}
+			dists = append(dists, v)
 		}
-		dists = append(dists, v)
+	}
+	if err != nil {
+		return nil, err
 	}
 	dStar, err := stats.ExtrapolateNext(dists)
 	if err != nil {
 		return nil, err
 	}
 	latest := past[len(past)-1]
-	candidate := current.Clone()
+	// Candidate assignments are generated in the same rng order the
+	// sequential search used and evaluated chunk by chunk, so an
+	// engine-backed measure parallelizes within each chunk while peak
+	// memory stays at chunkSize states rather than Assignments states.
+	const chunkSize = 64
+	pd, batched := d.Measure.(PairDistancer)
 	best := make([]opinion.Opinion, len(targets))
 	bestGap := math.Inf(1)
-	for trial := 0; trial < d.Assignments; trial++ {
-		for _, u := range targets {
-			if rng.Intn(2) == 0 {
-				candidate[u] = opinion.Positive
-			} else {
-				candidate[u] = opinion.Negative
+	candidates := make([]opinion.State, 0, chunkSize)
+	pairs := make([][2]opinion.State, 0, chunkSize)
+	for done := 0; done < d.Assignments; done += len(candidates) {
+		candidates = candidates[:0]
+		pairs = pairs[:0]
+		for trial := done; trial < d.Assignments && trial < done+chunkSize; trial++ {
+			c := current.Clone()
+			for _, u := range targets {
+				if rng.Intn(2) == 0 {
+					c[u] = opinion.Positive
+				} else {
+					c[u] = opinion.Negative
+				}
+			}
+			candidates = append(candidates, c)
+			pairs = append(pairs, [2]opinion.State{latest, c})
+		}
+		var vals []float64
+		if batched {
+			vals, err = pd.DistancePairs(pairs)
+		} else {
+			vals = make([]float64, len(pairs))
+			for i, p := range pairs {
+				vals[i], err = d.Measure.Distance(p[0], p[1])
+				if err != nil {
+					break
+				}
 			}
 		}
-		v, err := d.Measure.Distance(latest, candidate)
 		if err != nil {
 			return nil, err
 		}
-		if gap := math.Abs(v - dStar); gap < bestGap {
-			bestGap = gap
-			for i, u := range targets {
-				best[i] = candidate[u]
+		for k, v := range vals {
+			if gap := math.Abs(v - dStar); gap < bestGap {
+				bestGap = gap
+				for i, u := range targets {
+					best[i] = candidates[k][u]
+				}
 			}
 		}
 	}
 	return best, nil
+}
+
+// seriesDistancer is satisfied by measures with a batch adjacent-pair
+// entry point.
+type seriesDistancer interface {
+	Series(states []opinion.State) ([]float64, error)
 }
 
 // NhoodVoting predicts each target's opinion by probabilistic voting

@@ -25,6 +25,13 @@ type Distance interface {
 	Name() string
 }
 
+// pairDistancer is the optional batch fast path: measures that can
+// evaluate many pairs at once (the engine-backed SND measure) satisfy
+// it, and the index routes its bulk workloads through it.
+type pairDistancer interface {
+	DistancePairs(pairs [][2]opinion.State) ([]float64, error)
+}
+
 // Index is a collection of network states searchable by distance.
 type Index struct {
 	states []opinion.State
@@ -83,12 +90,26 @@ func (ix *Index) NearestNeighbors(query opinion.State, k int) ([]Neighbor, error
 		return nil, fmt.Errorf("search: k must be >= 1, got %d", k)
 	}
 	out := make([]Neighbor, 0, len(ix.states))
-	for i := range ix.states {
-		d, err := ix.dist.Distance(query, ix.states[i])
+	if pd, ok := ix.dist.(pairDistancer); ok && len(ix.states) > 1 {
+		pairs := make([][2]opinion.State, len(ix.states))
+		for i := range ix.states {
+			pairs[i] = [2]opinion.State{query, ix.states[i]}
+		}
+		ds, err := pd.DistancePairs(pairs)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Neighbor{Index: i, Dist: d})
+		for i, d := range ds {
+			out = append(out, Neighbor{Index: i, Dist: d})
+		}
+	} else {
+		for i := range ix.states {
+			d, err := ix.dist.Distance(query, ix.states[i])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Neighbor{Index: i, Dist: d})
+		}
 	}
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Dist != out[b].Dist {
@@ -237,12 +258,36 @@ func (ix *Index) kMedoidsOnce(k, maxIter int, seed int64) (Clustering, error) {
 }
 
 // PairwiseMatrix computes the full distance matrix of the indexed
-// states (useful for external clustering or MDS-style embedding).
+// states (useful for external clustering or MDS-style embedding). With
+// a batch-capable measure, all uncached i < j pairs are evaluated in
+// one parallel batch and the results feed the index cache, which later
+// KMedoids/Classify calls reuse.
 func (ix *Index) PairwiseMatrix() ([][]float64, error) {
 	n := len(ix.states)
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, n)
+	}
+	if pd, ok := ix.dist.(pairDistancer); ok {
+		var pairs [][2]opinion.State
+		var keys [][2]int
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if _, cached := ix.cache[[2]int{i, j}]; !cached {
+					pairs = append(pairs, [2]opinion.State{ix.states[i], ix.states[j]})
+					keys = append(keys, [2]int{i, j})
+				}
+			}
+		}
+		if len(pairs) > 0 {
+			ds, err := pd.DistancePairs(pairs)
+			if err != nil {
+				return nil, err
+			}
+			for k, d := range ds {
+				ix.cache[keys[k]] = d
+			}
+		}
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {

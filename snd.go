@@ -71,8 +71,9 @@ type Result = core.Result
 // experiments.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
-// Engine selects the SND computation strategy (see Options.Engine).
-type Engine = core.Engine
+// ComputeEngine selects the SND computation strategy (see
+// Options.Engine).
+type ComputeEngine = core.ComputeEngine
 
 // The available engines: automatic choice, the Theorem 4 bipartite
 // pipeline, network-routed flow, and the dense oracle.
@@ -94,7 +95,30 @@ const (
 	FlowCostScaling = core.FlowCostScaling
 )
 
-// Distance computes SND between two states of g (paper eq. 3).
+// Engine is a reusable, concurrency-safe SND compute layer over one
+// fixed graph: it evaluates the four EMD* terms of every distance
+// concurrently across a worker pool, reuses per-worker scratch memory,
+// and shares a ground-distance cache across batch calls. Construct one
+// Engine per graph and reuse it for all Distance/Pairs/Matrix/Series
+// traffic; results are bit-identical to sequential Distance loops for
+// any worker count.
+type Engine = core.Engine
+
+// EngineConfig sizes an Engine: worker count (0 = GOMAXPROCS) and
+// ground-distance cache budget in bytes (0 = 128 MiB, negative =
+// disabled).
+type EngineConfig = core.EngineConfig
+
+// StatePair is one (A, B) input of Engine.Pairs.
+type StatePair = core.StatePair
+
+// NewEngine builds a concurrent SND engine over g.
+func NewEngine(g *Graph, opts Options, cfg EngineConfig) *Engine {
+	return core.NewEngine(g, opts, cfg)
+}
+
+// Distance computes SND between two states of g (paper eq. 3). It is a
+// thin one-shot wrapper; batch callers should construct an Engine.
 func Distance(g *Graph, a, b State, opts Options) (Result, error) {
 	return core.Distance(g, a, b, opts)
 }
@@ -128,7 +152,8 @@ func Explain(g *Graph, a, b State, opts Options) (Result, [4]TermPlan, error) {
 	return core.Explain(g, a, b, opts)
 }
 
-// Series returns the SND between every adjacent pair of states.
+// Series returns the SND between every adjacent pair of states,
+// computed in parallel on a default Engine.
 func Series(g *Graph, states []State, opts Options) ([]float64, error) {
 	return core.Series(g, states, opts)
 }
@@ -140,9 +165,12 @@ type Measure interface {
 	Name() string
 }
 
-// SNDMeasure adapts SND to the Measure interface.
+// SNDMeasure adapts SND to the Measure interface. The returned measure
+// is backed by an Engine, so batch consumers (DetectAnomalies, the
+// state index, the distance-based predictor) evaluate distances in
+// parallel with scratch reuse.
 func SNDMeasure(g *Graph, opts Options) Measure {
-	return predict.SNDMeasure{G: g, Opts: opts}
+	return predict.SNDMeasure{G: g, Opts: opts, Engine: core.NewEngine(g, opts, core.EngineConfig{})}
 }
 
 // HammingMeasure counts coordinate-wise opinion disagreements.
@@ -197,18 +225,35 @@ type AnomalyReport struct {
 	Scores []float64
 }
 
+// seriesMeasure is satisfied by measures that can evaluate a whole
+// adjacent-pair series at once (the engine-backed SNDMeasure does,
+// scheduling all terms across its worker pool).
+type seriesMeasure interface {
+	Series(states []State) ([]float64, error)
+}
+
 // DetectAnomalies runs the anomaly pipeline for measure m over a state
 // series: adjacent distances, active-count normalization, min-max
 // scaling, and spike scores. Rank transitions by Scores descending to
-// flag anomalies.
+// flag anomalies. Measures that support batch evaluation (SNDMeasure)
+// compute all transitions in parallel.
 func DetectAnomalies(states []State, m Measure) (AnomalyReport, error) {
-	dists := make([]float64, 0, len(states)-1)
-	for i := 0; i+1 < len(states); i++ {
-		d, err := m.Distance(states[i], states[i+1])
+	var dists []float64
+	if sm, ok := m.(seriesMeasure); ok && len(states) >= 2 {
+		var err error
+		dists, err = sm.Series(states)
 		if err != nil {
 			return AnomalyReport{}, err
 		}
-		dists = append(dists, d)
+	} else {
+		dists = make([]float64, 0, len(states)-1)
+		for i := 0; i+1 < len(states); i++ {
+			d, err := m.Distance(states[i], states[i+1])
+			if err != nil {
+				return AnomalyReport{}, err
+			}
+			dists = append(dists, d)
+		}
 	}
 	actives := make([]int, len(states))
 	for i, st := range states {
