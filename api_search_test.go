@@ -1,6 +1,7 @@
 package snd
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -55,14 +56,14 @@ func TestStateIndexWithSND(t *testing.T) {
 	// A fresh +-family state should classify as label 0.
 	query := states[1].Clone()
 	query[20] = Positive
-	got, err := ix.Classify(query, labels, 3)
+	got, err := ix.Classify(context.Background(), query, labels, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != 0 {
 		t.Errorf("Classify = %d, want 0", got)
 	}
-	nn, err := ix.NearestNeighbors(query, 2)
+	nn, err := ix.NearestNeighbors(context.Background(), query, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestStateIndexWithSND(t *testing.T) {
 		t.Errorf("nearest neighbor is from the wrong family: %+v", nn[0])
 	}
 	// k-medoids with k=2 should split the families.
-	res, err := ix.KMedoids(2, 10, 4)
+	res, err := ix.KMedoids(context.Background(), 2, 10, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package snd
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -119,7 +120,7 @@ func TestPredictionFacade(t *testing.T) {
 		NhoodVotingPredictor(g, 9),
 		CommunityLPPredictor(g, 10),
 	} {
-		preds, err := p.Predict(states[:len(states)-1], current, targets)
+		preds, err := p.Predict(context.Background(), states[:len(states)-1], current, targets)
 		if err != nil {
 			t.Fatalf("%s: %v", p.Name(), err)
 		}

@@ -7,6 +7,7 @@ package snd
 // solver, Dijkstra heap, ground-cost model, and bank allocation.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -280,7 +281,7 @@ func BenchmarkSeriesEngine(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := e.Series(states); err != nil {
+				if _, err := e.Series(context.Background(), states); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -297,7 +298,7 @@ func BenchmarkEngineMatrix(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Matrix(states); err != nil {
+		if _, err := e.Matrix(context.Background(), states); err != nil {
 			b.Fatal(err)
 		}
 	}

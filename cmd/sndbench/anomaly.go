@@ -14,15 +14,16 @@ import (
 // the penalty spatial while avoiding the saturated escape costs that
 // per-user banks pay at weakly-connected users of a directed follower
 // graph (see EXPERIMENTS.md).
-func measures(g *snd.Graph) []snd.Measure {
+func measures(g *snd.Graph) ([]snd.Measure, *snd.Network) {
 	opts := snd.DefaultOptions()
 	opts.Clusters = snd.BFSClusterLabels(g, 64)
+	nw := snd.NewNetwork(g, opts, snd.EngineConfig{})
 	return []snd.Measure{
-		snd.SNDMeasure(g, opts),
+		nw.Measure(),
 		snd.HammingMeasure(g.N()),
 		snd.WalkDistMeasure(g),
 		snd.QuadFormMeasure(g),
-	}
+	}, nw
 }
 
 // evolutionWithAnomalies generates a state series where the transitions
@@ -87,7 +88,9 @@ func runFig7(sc scale, seed int64) {
 		anomalyAt, seed+1)
 
 	reports := make([]snd.AnomalyReport, 0, 4)
-	for _, m := range measures(g) {
+	ms, nw := measures(g)
+	defer nw.Close()
+	for _, m := range ms {
 		rep, err := snd.DetectAnomalies(states, m)
 		if err != nil {
 			fatalf("fig7 %s: %v", m.Name(), err)
@@ -185,7 +188,9 @@ func runFig8(sc scale, seed int64) {
 		}
 	}
 	fmt.Printf("%-10s %-8s %-14s\n", "measure", "AUC", "TPR@FPR<=0.3")
-	for _, m := range measures(g) {
+	ms, nw := measures(g)
+	defer nw.Close()
+	for _, m := range ms {
 		scores := make([]float64, len(ts))
 		truth := make([]bool, len(ts))
 		for i, tr := range ts {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -59,16 +60,18 @@ func runEngine(sc scale, seed int64) {
 	}
 	seqDur := time.Since(start)
 
-	eng := snd.NewEngine(g, opts, snd.EngineConfig{})
+	ctx := context.Background()
+	nw := snd.NewNetwork(g, opts, snd.EngineConfig{})
+	defer nw.Close()
 	// Warm once so the snapshot measures the steady state the batch
 	// pipelines see (scratch arenas grown, transpose built); the ground
 	// cache is shared, so warm-up also fills it, exactly as a second
 	// Series call in production would find it.
-	if _, err := eng.Series(states); err != nil {
+	if _, err := nw.Series(ctx, states); err != nil {
 		fatalf("engine warmup: %v", err)
 	}
 	start = time.Now()
-	par, err := eng.Series(states)
+	par, err := nw.Series(ctx, states)
 	if err != nil {
 		fatalf("engine series: %v", err)
 	}
@@ -95,7 +98,7 @@ func runEngine(sc scale, seed int64) {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		CPUs:          runtime.NumCPU(),
-		Workers:       eng.Workers(),
+		Workers:       nw.Engine().Workers(),
 		Users:         g.N(),
 		Edges:         g.M(),
 		States:        count,

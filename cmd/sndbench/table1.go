@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -54,8 +55,10 @@ func evalPredictors(g *snd.Graph, states []snd.State, sc scale, seed int64) []pr
 	// in saturated escape costs (see EXPERIMENTS.md).
 	sndOpts := snd.DefaultOptions()
 	sndOpts.Clusters = snd.BFSClusterLabels(g, 64)
+	nw := snd.NewNetwork(g, sndOpts, snd.EngineConfig{})
+	defer nw.Close()
 	predictors := []snd.Predictor{
-		snd.DistanceBasedPredictor(snd.SNDMeasure(g, sndOpts), sc.table1Assignments, seed),
+		snd.DistanceBasedPredictor(nw.Measure(), sc.table1Assignments, seed),
 		snd.DistanceBasedPredictor(snd.HammingMeasure(g.N()), sc.table1Assignments, seed),
 		snd.DistanceBasedPredictor(snd.QuadFormMeasure(g), sc.table1Assignments, seed),
 		snd.DistanceBasedPredictor(snd.WalkDistMeasure(g), sc.table1Assignments, seed),
@@ -77,7 +80,7 @@ func evalPredictors(g *snd.Graph, states []snd.State, sc scale, seed int64) []pr
 		}
 		current := snd.BlankTargets(truth, targets)
 		for i, p := range predictors {
-			preds, err := p.Predict(past, current, targets)
+			preds, err := p.Predict(context.Background(), past, current, targets)
 			if err != nil {
 				fatalf("table1 %s: %v", p.Name(), err)
 			}

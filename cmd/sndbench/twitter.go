@@ -31,7 +31,9 @@ func runFig9(sc scale, seed int64) {
 		eventAt[e.Quarter] = e
 	}
 	reports := make([]snd.AnomalyReport, 0, 4)
-	for _, m := range measures(d.Graph) {
+	ms, nw := measures(d.Graph)
+	defer nw.Close()
+	for _, m := range ms {
 		rep, err := snd.DetectAnomalies(d.States, m)
 		if err != nil {
 			fatalf("fig9 %s: %v", m.Name(), err)

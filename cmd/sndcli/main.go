@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 	gamma := flag.Int64("gamma", 0, "bank-bin ground distance (0 = default)")
 	clusters := flag.Int("clusters", 0, "bank clusters (0 = one bank per user)")
 	verbose := flag.Bool("v", false, "print per-term breakdown and statistics")
+	timeout := flag.Duration("timeout", 0, "abort the computation after this duration (0 = no deadline)")
 	flag.Parse()
 	if *graphPath == "" || *aPath == "" || *bPath == "" {
 		flag.Usage()
@@ -69,11 +71,23 @@ func main() {
 		opts.Clusters = snd.BFSClusterLabels(g, *clusters)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	var res snd.Result
 	if *engine == "direct" {
+		// The direct (dense simplex) baseline predates the handle API
+		// and takes no context.
 		res, err = snd.DirectDistance(g, a, b, opts)
 	} else {
-		res, err = snd.Distance(g, a, b, opts)
+		// One distance per process: the ground cache could never hit, so
+		// it is disabled (values are identical either way).
+		nw := snd.NewNetwork(g, opts, snd.EngineConfig{GroundCacheBytes: -1})
+		defer nw.Close()
+		res, err = nw.Distance(ctx, a, b)
 	}
 	exitOn(err)
 	if *verbose {

@@ -14,7 +14,12 @@
 // number of opinion changes is near when it follows the network's
 // structure and far when it does not.
 //
-// # Quick start
+// # The Network handle
+//
+// The package's primary entry point is Network: a long-lived handle
+// over one graph that serves every workload — batch distances, the
+// anomaly pipeline, metric-space search, and online monitoring of an
+// evolving state.
 //
 //	b := snd.NewGraphBuilder(4)
 //	b.AddEdge(0, 1)
@@ -22,29 +27,78 @@
 //	b.AddEdge(2, 3)
 //	g := b.Build()
 //
+//	nw := snd.NewNetwork(g, snd.DefaultOptions(), snd.EngineConfig{})
+//	defer nw.Close()
+//
 //	before := snd.NewState(4)
 //	before[0] = snd.Positive
 //	after := before.Clone()
 //	after[1] = snd.Positive // opinion reached a follower
 //
-//	d, err := snd.DistanceValue(g, before, after)
+//	d, err := nw.DistanceValue(ctx, before, after)
+//
+// # Lifecycle
+//
+// Construct one Network per graph and reuse it: the handle owns a
+// concurrent compute engine whose per-worker scratch arenas and shared
+// ground-distance cache amortize across calls. A handle owns no
+// goroutines between calls — its idle footprint is memory. Close
+// releases the cache immediately and fails all further calls with an
+// error wrapping ErrEngineClosed; everything derived from the handle
+// (Network.Measure measures, Network.Index indexes) shares its engine
+// and dies with it.
+//
+// # Context semantics
+//
+// Every batch entry point — Network.Distance, Pairs, Series, Matrix,
+// Explain, DetectAnomalies, Step, the predictors' Predict, and the
+// StateIndex search methods — takes a context.Context first. A
+// cancelled context makes the call return ctx.Err(); cancellation is
+// observed at term boundaries, between the SSSP runs inside a term,
+// and between the pushes of the min-cost-flow solvers, so a cancelled
+// request releases the worker pool within one such step. With an
+// un-cancelled context, results are bit-identical to sequential
+// snd.Distance loops for any worker count (pinned by tests under the
+// race detector).
+//
+// # Incremental state (deltas)
+//
+// Online monitoring wants the state shipped once and then kept current
+// cheaply. Network tracks a state for exactly that:
+//
+//	nw.SetState(initial)                  // full state crosses once
+//	res, err := nw.Step(ctx, snd.StateDelta{
+//	        {User: 17, Opinion: snd.Positive},
+//	        {User: 4242, Opinion: snd.Neutral},
+//	})                                    // SND(previous, current)
+//
+// Apply advances the state without computing a distance; Current
+// returns the tracked snapshot and its version. Updates copy-on-write,
+// so snapshots returned earlier stay valid. Adjacent Steps share
+// reference states and therefore hit the engine's ground-distance
+// cache; states that scroll out of the recent window have their cache
+// entries evicted, keeping the cache budget on reference states that
+// can still recur.
+//
+// # Errors
+//
+// Input validation fails with errors wrapping the structured sentinels
+// ErrStateSize, ErrInvalidOpinion, ErrClusterLabels, ErrShortSeries,
+// and ErrEngineClosed; branch with errors.Is.
 //
 // # What is inside
 //
 // The package re-exports the full pipeline of the paper:
 //
-//   - Distance / DistanceValue / Series: SND itself (eq. 3), computed
-//     exactly in time near-linear in the number of users via the
-//     Theorem 4 reduction (Options selects engines, solvers, ground
-//     -cost models, and Dijkstra heaps).
-//   - Engine: the concurrent batch compute layer. NewEngine builds a
-//     worker pool over one fixed graph; Engine.Distance evaluates the
-//     four EMD* terms of a single SND in parallel, and Engine.Pairs /
-//     Engine.Series / Engine.Matrix schedule whole batches across the
-//     workers with per-worker scratch reuse and a shared
-//     ground-distance cache. Results are bit-identical to sequential
-//     Distance loops for any worker count. The anomaly, prediction,
-//     and search pipelines below all route through it via SNDMeasure.
+//   - Network / Engine: the handle and its concurrent batch compute
+//     layer. Engine remains available (Network.Engine) for callers
+//     that want the lower level; the free functions Distance /
+//     DistanceValue / Series / Explain are deprecated thin wrappers
+//     over a per-call handle, kept so existing code migrates
+//     gradually.
+//   - SND itself (eq. 3), computed exactly in time near-linear in the
+//     number of users via the Theorem 4 reduction (Options selects
+//     engines, solvers, ground-cost models, and Dijkstra heaps).
 //   - EMDStar: the generalized Earth Mover's Distance EMD* (eq. 4)
 //     with local bank bins, plus the classic EMD, EMD-hat and
 //     EMD-alpha variants for comparison.

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,19 +37,27 @@ func main() {
 		}
 	}
 
-	measures := []snd.Measure{
-		snd.SNDMeasure(g, snd.DefaultOptions()),
+	// SND runs on a long-lived handle; the baseline measures are plain
+	// values. The handle's DetectAnomalies takes a context and batches
+	// all transitions across the engine's workers.
+	nw := snd.NewNetwork(g, snd.DefaultOptions(), snd.EngineConfig{})
+	defer nw.Close()
+	baselines := []snd.Measure{
 		snd.HammingMeasure(g.N()),
 		snd.QuadFormMeasure(g),
 	}
 	fmt.Printf("%-6s %-10s %-10s %-10s  %s\n", "step", "snd", "hamming", "quad-form", "truth")
-	reports := make([]snd.AnomalyReport, len(measures))
-	for i, m := range measures {
+	sndRep, err := nw.DetectAnomalies(context.Background(), states)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports := []snd.AnomalyReport{sndRep}
+	for _, m := range baselines {
 		rep, err := snd.DetectAnomalies(states, m)
 		if err != nil {
 			log.Fatal(err)
 		}
-		reports[i] = rep
+		reports = append(reports, rep)
 	}
 	for t := 0; t < steps-1; t++ {
 		mark := ""

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -33,15 +34,19 @@ func main() {
 
 	sndOpts := snd.DefaultOptions()
 	sndOpts.Clusters = snd.BFSClusterLabels(g, 64)
+	// The SND-based predictor runs its candidate batches on the
+	// handle's engine; Predict takes a context for deadline control.
+	nw := snd.NewNetwork(g, sndOpts, snd.EngineConfig{})
+	defer nw.Close()
 	predictors := []snd.Predictor{
-		snd.DistanceBasedPredictor(snd.SNDMeasure(g, sndOpts), 100, 24),
+		snd.DistanceBasedPredictor(nw.Measure(), 100, 24),
 		snd.DistanceBasedPredictor(snd.HammingMeasure(g.N()), 100, 24),
 		snd.NhoodVotingPredictor(g, 25),
 		snd.CommunityLPPredictor(g, 26),
 	}
 	fmt.Printf("%-14s %-9s %s\n", "method", "accuracy", "predictions (target:guess/truth)")
 	for _, p := range predictors {
-		preds, err := p.Predict(past, current, targets)
+		preds, err := p.Predict(context.Background(), past, current, targets)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,11 +41,17 @@ func main() {
 	faraway := before.Clone()
 	faraway[10] = snd.Positive
 
-	dNear, err := snd.DistanceValue(g, before, nearby)
+	// One long-lived handle serves all distance traffic over the graph;
+	// every call takes a context so servers can attach deadlines.
+	ctx := context.Background()
+	nw := snd.NewNetwork(g, snd.DefaultOptions(), snd.EngineConfig{})
+	defer nw.Close()
+
+	dNear, err := nw.DistanceValue(ctx, before, nearby)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dFar, err := snd.DistanceValue(g, before, faraway)
+	dFar, err := nw.DistanceValue(ctx, before, faraway)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +66,7 @@ func main() {
 	// The full Result carries the four EMD* terms of eq. 3 and
 	// computation statistics; Explain additionally returns the
 	// transport plans — who shipped opinion mass where, at what cost.
-	res, plans, err := snd.Explain(g, before, faraway, snd.DefaultOptions())
+	res, plans, err := nw.Explain(ctx, before, faraway)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,4 +85,20 @@ func main() {
 				plan.Op, plan.GroundState, kind, mv.Amount, mv.From, mv.To, mv.UnitCost)
 		}
 	}
+
+	// Online monitoring: ship the state once, then advance it by sparse
+	// deltas; Step returns the SND each tick's changes covered.
+	if err := nw.SetState(before); err != nil {
+		log.Fatal(err)
+	}
+	tick1, err := nw.Step(ctx, snd.StateDelta{{User: 1, Opinion: snd.Positive}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tick2, err := nw.Step(ctx, snd.StateDelta{{User: 10, Opinion: snd.Positive}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmonitoring by deltas: tick 1 (friendly spread) SND=%.2f, tick 2 (adverse jump) SND=%.2f\n",
+		tick1.SND, tick2.SND)
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -76,7 +77,10 @@ func main() {
 	// recreating mass never undercuts transporting it.
 	opts := snd.DefaultOptions()
 	opts.Gamma = 24
-	ix := snd.NewStateIndex(states, snd.SNDMeasure(g, opts))
+	ctx := context.Background()
+	nw := snd.NewNetwork(g, opts, snd.EngineConfig{})
+	defer nw.Close()
+	ix := nw.Index(states)
 
 	// Retrieval: the nearest neighbors of a fresh organic state should
 	// be the other organic states. (The query is trimmed to the shared
@@ -87,7 +91,7 @@ func main() {
 			query[u] = snd.Neutral
 		}
 	}
-	nn, err := ix.NearestNeighbors(query, 3)
+	nn, err := ix.NearestNeighbors(ctx, query, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -101,14 +105,14 @@ func main() {
 	}
 
 	// Classification.
-	class, err := ix.Classify(query, labels, 3)
+	class, err := ix.Classify(ctx, query, labels, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nclassified as: %d (0 = organic, 1 = scattered)\n", class)
 
 	// Clustering: k-medoids with k=2 should recover the two regimes.
-	clusters, err := ix.KMedoids(2, 20, 43)
+	clusters, err := ix.KMedoids(ctx, 2, 20, 43)
 	if err != nil {
 		log.Fatal(err)
 	}

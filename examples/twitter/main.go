@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,9 @@ func main() {
 	fmt.Printf("corpus: %d users, %d follow edges, %d quarters, %d events\n\n",
 		d.Graph.N(), d.Graph.M(), len(d.States), len(d.Events))
 
-	sndRep, err := snd.DetectAnomalies(d.States, snd.SNDMeasure(d.Graph, snd.DefaultOptions()))
+	nw := snd.NewNetwork(d.Graph, snd.DefaultOptions(), snd.EngineConfig{})
+	defer nw.Close()
+	sndRep, err := nw.DetectAnomalies(context.Background(), d.States)
 	if err != nil {
 		log.Fatal(err)
 	}

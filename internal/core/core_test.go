@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -317,14 +318,14 @@ func TestSeries(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		states = append(states, perturb(states[len(states)-1], 3, rng))
 	}
-	out, err := Series(g, states, DefaultOptions())
+	out, err := Series(context.Background(), g, states, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(out) != 3 {
 		t.Fatalf("len = %d, want 3", len(out))
 	}
-	if _, err := Series(g, states[:1], DefaultOptions()); err == nil {
+	if _, err := Series(context.Background(), g, states[:1], DefaultOptions()); err == nil {
 		t.Error("single-state series accepted")
 	}
 }

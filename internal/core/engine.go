@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,12 +41,34 @@ type StatePair struct {
 //
 // All methods are safe for concurrent use and return results
 // bit-identical to sequential Distance loops, regardless of Workers.
+//
+// # Lifetime
+//
+// An Engine owns no goroutines between calls: workers are spawned per
+// batch and exit when the batch drains, so an idle Engine costs only
+// memory — the shared ground-distance cache plus each worker's scratch
+// arena. Close releases the cache immediately and marks the engine
+// closed (further calls return ErrEngineClosed); scratch arenas are
+// reclaimed by the garbage collector once the Engine itself is
+// unreferenced. Close is safe to call at any time, including
+// concurrently with in-flight batches (they run to completion against
+// an emptied cache).
+//
+// # Cancellation
+//
+// Every batch method takes a context. Cancellation is observed at term
+// boundaries (between the four EMD* evaluations of each pair), between
+// the SSSP runs inside a term, and between the augmentations/pushes of
+// the min-cost-flow solvers, so a cancelled request stops burning the
+// pool within one such step. With an un-cancelled context the checks
+// are pure loads: results are bit-identical with or without deadline.
 type Engine struct {
 	g       *graph.Digraph
 	opts    Options
 	workers int
 	cache   *groundCache
 	pool    sync.Pool // *scratch
+	closed  atomic.Bool
 }
 
 // NewEngine builds an engine over g with the given SND options.
@@ -81,10 +104,47 @@ func NewEngine(g *graph.Digraph, opts Options, cfg EngineConfig) *Engine {
 // Workers returns the configured worker count.
 func (e *Engine) Workers() int { return e.workers }
 
+// Close marks the engine closed and releases the shared ground-distance
+// cache. Subsequent calls return an error wrapping ErrEngineClosed;
+// batches already in flight run to completion. Close is idempotent and
+// always returns nil (it satisfies io.Closer).
+func (e *Engine) Close() error {
+	e.closed.Store(true)
+	if e.cache != nil {
+		e.cache.clear()
+	}
+	return nil
+}
+
+// Closed reports whether Close has been called. Handles wrapping an
+// Engine (snd.Network) derive their own closed state from this, so
+// closing through either surface closes both.
+func (e *Engine) Closed() bool { return e.closed.Load() }
+
+func (e *Engine) closedErr() error {
+	if e.closed.Load() {
+		return fmt.Errorf("core: %w", ErrEngineClosed)
+	}
+	return nil
+}
+
+// EvictRef drops every ground-distance cache entry keyed by reference
+// state st (its eq. 2 edge costs and SSSP rows), refunding the cache
+// budget for newer reference states. Incremental-state callers
+// (snd.Network.Apply) evict states that have scrolled out of their
+// recent-history window, so a long-running evolving-state workload
+// keeps its budget on reference states that can still recur instead of
+// exhausting it on the first states ever seen.
+func (e *Engine) EvictRef(st opinion.State) {
+	if e.cache != nil {
+		e.cache.evictRef(hashState(st))
+	}
+}
+
 // Distance computes SND(a, b), evaluating the four EMD* terms of eq. 3
 // concurrently.
-func (e *Engine) Distance(a, b opinion.State) (Result, error) {
-	res, err := e.Pairs([]StatePair{{A: a, B: b}})
+func (e *Engine) Distance(ctx context.Context, a, b opinion.State) (Result, error) {
+	res, err := e.Pairs(ctx, []StatePair{{A: a, B: b}})
 	if err != nil {
 		return Result{}, err
 	}
@@ -92,8 +152,16 @@ func (e *Engine) Distance(a, b opinion.State) (Result, error) {
 }
 
 // Pairs computes SND for every requested pair, scheduling all 4*len
-// terms across the worker pool. Results are aligned with pairs.
-func (e *Engine) Pairs(pairs []StatePair) ([]Result, error) {
+// terms across the worker pool. Results are aligned with pairs. When
+// ctx is cancelled mid-batch, Pairs stops scheduling work and returns
+// ctx.Err().
+func (e *Engine) Pairs(ctx context.Context, pairs []StatePair) ([]Result, error) {
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for i := range pairs {
 		if err := e.opts.validate(e.g, pairs[i].A, pairs[i].B); err != nil {
 			return nil, fmt.Errorf("core: pair %d: %w", i, err)
@@ -102,7 +170,7 @@ func (e *Engine) Pairs(pairs []StatePair) ([]Result, error) {
 	if len(pairs) == 0 {
 		return nil, nil
 	}
-	outs, err := e.runTerms(pairs)
+	outs, err := e.runTerms(ctx, pairs)
 	if err != nil {
 		return nil, err
 	}
@@ -124,15 +192,18 @@ func (e *Engine) Pairs(pairs []StatePair) ([]Result, error) {
 // Series computes the SND between every adjacent pair of states:
 // out[i] = SND(states[i], states[i+1]). Adjacent pairs share reference
 // states, so their SSSP rows and edge costs hit the ground cache.
-func (e *Engine) Series(states []opinion.State) ([]float64, error) {
+func (e *Engine) Series(ctx context.Context, states []opinion.State) ([]float64, error) {
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
 	if len(states) < 2 {
-		return nil, fmt.Errorf("core: need at least 2 states, have %d", len(states))
+		return nil, fmt.Errorf("core: have %d states: %w", len(states), ErrShortSeries)
 	}
 	pairs := make([]StatePair, len(states)-1)
 	for i := range pairs {
 		pairs[i] = StatePair{A: states[i], B: states[i+1]}
 	}
-	results, err := e.Pairs(pairs)
+	results, err := e.Pairs(ctx, pairs)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +217,10 @@ func (e *Engine) Series(states []opinion.State) ([]float64, error) {
 // Matrix computes the full symmetric distance matrix of the given
 // states, evaluating only the i < j pairs (SND is symmetric) and
 // mirroring. The diagonal is zero.
-func (e *Engine) Matrix(states []opinion.State) ([][]float64, error) {
+func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float64, error) {
+	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
 	n := len(states)
 	pairs := make([]StatePair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
@@ -161,7 +235,7 @@ func (e *Engine) Matrix(states []opinion.State) ([][]float64, error) {
 	if len(pairs) == 0 {
 		return out, nil
 	}
-	results, err := e.Pairs(pairs)
+	results, err := e.Pairs(ctx, pairs)
 	if err != nil {
 		return nil, err
 	}
@@ -186,8 +260,11 @@ type termOut struct {
 
 // runTerms evaluates the 4*len(pairs) EMD* terms across the pool and
 // returns them indexed as outs[4*pair+term], so aggregation order (and
-// therefore every result bit) is independent of scheduling.
-func (e *Engine) runTerms(pairs []StatePair) ([]termOut, error) {
+// therefore every result bit) is independent of scheduling. Workers
+// observe ctx between terms (and pass it down into the SSSP and flow
+// loops of each term), so a cancelled batch stops claiming work and
+// runTerms returns ctx.Err().
+func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, error) {
 	// Reference-state hashes key the ground cache; terms 0-1 of a pair
 	// use A's ground distance, terms 2-3 use B's.
 	hashes := make([][2]hashKey, len(pairs))
@@ -213,13 +290,16 @@ func (e *Engine) runTerms(pairs []StatePair) ([]termOut, error) {
 			sc := e.getScratch()
 			defer e.pool.Put(sc)
 			for {
+				if ctx.Err() != nil {
+					return // cancelled: stop claiming terms
+				}
 				t := int(next.Add(1))
 				if t >= total {
 					return
 				}
 				pi, term := t/4, t%4
 				spec := eqSpec(pairs[pi].A, pairs[pi].B, term)
-				tc := termCtx{sc: sc, gc: e.cache}
+				tc := termCtx{ctx: ctx, sc: sc, gc: e.cache}
 				if e.cache != nil {
 					tc.refHash = hashes[pi][term/2]
 				}
@@ -233,6 +313,9 @@ func (e *Engine) runTerms(pairs []StatePair) ([]termOut, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for t := range outs {
 		if outs[t].err != nil {
 			return nil, outs[t].err
@@ -412,5 +495,36 @@ func (c *groundCache) putRow(k rowKey, row []int64) {
 		c.budget -= cost
 		c.rows[k] = row
 	}
+	c.mu.Unlock()
+}
+
+// evictRef deletes every entry keyed by reference-state hash ref and
+// refunds the freed bytes to the budget. It walks both maps — eviction
+// happens once per tracked-state advance, not on the per-term hot path.
+func (c *groundCache) evictRef(ref hashKey) {
+	c.mu.Lock()
+	for k, w := range c.weights {
+		if k.ref == ref {
+			c.budget += int64(len(w)) * 4
+			delete(c.weights, k)
+		}
+	}
+	for k, r := range c.rows {
+		if k.ref == ref {
+			c.budget += int64(len(r)) * 8
+			delete(c.rows, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// clear empties the cache and zeroes its budget so no future insert is
+// retained; in-flight readers holding previously fetched slices are
+// unaffected (entries are immutable).
+func (c *groundCache) clear() {
+	c.mu.Lock()
+	c.weights = make(map[weightKey][]int32)
+	c.rows = make(map[rowKey][]int64)
+	c.budget = 0
 	c.mu.Unlock()
 }

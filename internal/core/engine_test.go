@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"snd/internal/graph"
 	"snd/internal/opinion"
@@ -52,7 +55,7 @@ func TestEnginePairsMatchesSequential(t *testing.T) {
 	}
 	for oi, opts := range engineTestOptions(g) {
 		e := NewEngine(g, opts, EngineConfig{Workers: 4})
-		got, err := e.Pairs(pairs)
+		got, err := e.Pairs(context.Background(), pairs)
 		if err != nil {
 			t.Fatalf("opts %d: Pairs: %v", oi, err)
 		}
@@ -75,7 +78,7 @@ func TestEngineMatrixMatchesSequential(t *testing.T) {
 	states := engineTestStates(g.N(), 5, 20, 10)
 	opts := DefaultOptions()
 	e := NewEngine(g, opts, EngineConfig{Workers: 3})
-	m, err := e.Matrix(states)
+	m, err := e.Matrix(context.Background(), states)
 	if err != nil {
 		t.Fatalf("Matrix: %v", err)
 	}
@@ -105,7 +108,7 @@ func TestEngineSeriesMatchesSequential(t *testing.T) {
 	states := engineTestStates(g.N(), 8, 15, 12)
 	opts := DefaultOptions()
 	e := NewEngine(g, opts, EngineConfig{})
-	got, err := e.Series(states)
+	got, err := e.Series(context.Background(), states)
 	if err != nil {
 		t.Fatalf("Series: %v", err)
 	}
@@ -133,7 +136,7 @@ func TestEngineWorkerDeterminism(t *testing.T) {
 	var baseline []Result
 	for _, workers := range []int{1, 2, 8} {
 		e := NewEngine(g, opts, EngineConfig{Workers: workers})
-		got, err := e.Pairs(pairs)
+		got, err := e.Pairs(context.Background(), pairs)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -155,11 +158,11 @@ func TestEngineCacheDisabledMatches(t *testing.T) {
 	opts := DefaultOptions()
 	cached := NewEngine(g, opts, EngineConfig{Workers: 4})
 	uncached := NewEngine(g, opts, EngineConfig{Workers: 4, GroundCacheBytes: -1})
-	a, err := cached.Series(states)
+	a, err := cached.Series(context.Background(), states)
 	if err != nil {
 		t.Fatalf("cached: %v", err)
 	}
-	b, err := uncached.Series(states)
+	b, err := uncached.Series(context.Background(), states)
 	if err != nil {
 		t.Fatalf("uncached: %v", err)
 	}
@@ -167,7 +170,7 @@ func TestEngineCacheDisabledMatches(t *testing.T) {
 		t.Errorf("cache changed results: %v vs %v", a, b)
 	}
 	// Exercise the cache-hit path a second time on the same engine.
-	c, err := cached.Series(states)
+	c, err := cached.Series(context.Background(), states)
 	if err != nil {
 		t.Fatalf("cached rerun: %v", err)
 	}
@@ -186,7 +189,7 @@ func TestEngineScratchReuse(t *testing.T) {
 	base := randState(g.N(), 0.3, rng)
 	for _, flips := range []int{2, 50, 5, 120, 1} {
 		next := perturb(base, flips, rng)
-		got, err := e.Distance(base, next)
+		got, err := e.Distance(context.Background(), base, next)
 		if err != nil {
 			t.Fatalf("flips=%d: %v", flips, err)
 		}
@@ -207,13 +210,13 @@ func TestEngineValidation(t *testing.T) {
 	e := NewEngine(g, DefaultOptions(), EngineConfig{})
 	short := opinion.NewState(10)
 	ok := opinion.NewState(g.N())
-	if _, err := e.Pairs([]StatePair{{A: ok, B: ok}, {A: ok, B: short}}); err == nil {
+	if _, err := e.Pairs(context.Background(), []StatePair{{A: ok, B: ok}, {A: ok, B: short}}); err == nil {
 		t.Error("expected validation error for mismatched state length")
 	}
-	if _, err := e.Series([]opinion.State{ok}); err == nil {
+	if _, err := e.Series(context.Background(), []opinion.State{ok}); err == nil {
 		t.Error("expected error for single-state series")
 	}
-	if res, err := e.Pairs(nil); err != nil || res != nil {
+	if res, err := e.Pairs(context.Background(), nil); err != nil || res != nil {
 		t.Errorf("empty batch: got %v, %v", res, err)
 	}
 }
@@ -223,7 +226,7 @@ func TestEngineMatrixTiny(t *testing.T) {
 	g := engineTestGraph(50, 21)
 	e := NewEngine(g, DefaultOptions(), EngineConfig{})
 	st := randState(g.N(), 0.4, rand.New(rand.NewSource(22)))
-	m, err := e.Matrix([]opinion.State{st})
+	m, err := e.Matrix(context.Background(), []opinion.State{st})
 	if err != nil {
 		t.Fatalf("Matrix(1): %v", err)
 	}
@@ -251,5 +254,159 @@ func TestHashStateDistinguishes(t *testing.T) {
 	}
 	if hashState(st) != hashState(st.Clone()) {
 		t.Error("equal states must hash equal")
+	}
+}
+
+// TestEngineContextCancellation pins the cancellation contract: a
+// cancelled context makes Pairs/Series/Matrix return ctx.Err() (not a
+// wrapped term error), both when cancelled up front and mid-batch.
+// This test runs under -race in CI, which also checks the cancellation
+// paths introduce no worker/main races or deadlocks.
+func TestEngineContextCancellation(t *testing.T) {
+	g := engineTestGraph(400, 25)
+	states := engineTestStates(g.N(), 8, 40, 26)
+	var pairs []StatePair
+	for i := 0; i+1 < len(states); i++ {
+		pairs = append(pairs, StatePair{A: states[i], B: states[i+1]})
+	}
+	e := NewEngine(g, DefaultOptions(), EngineConfig{Workers: 4})
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Pairs(pre, pairs); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Pairs: err = %v, want context.Canceled", err)
+	}
+	if _, err := e.Series(pre, states); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Series: err = %v, want context.Canceled", err)
+	}
+	if _, err := e.Matrix(pre, states); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled Matrix: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-batch: cancel from another goroutine shortly after the batch
+	// starts. The batch is far larger than the cancellation latency, so
+	// the error must be the context's.
+	mid, cancelMid := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancelMid()
+		close(done)
+	}()
+	if _, err := e.Matrix(mid, states); !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-batch Matrix: err = %v, want context.Canceled", err)
+	}
+	<-done
+
+	// An expired deadline surfaces as DeadlineExceeded.
+	dl, cancelDl := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancelDl()
+	<-dl.Done()
+	if _, err := e.Pairs(dl, pairs); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline Pairs: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// The engine stays fully usable after cancelled batches.
+	got, err := e.Pairs(context.Background(), pairs)
+	if err != nil {
+		t.Fatalf("Pairs after cancellations: %v", err)
+	}
+	want, err := Distance(g, pairs[0].A, pairs[0].B, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Errorf("post-cancellation result drifted: %+v != %+v", got[0], want)
+	}
+}
+
+// TestEngineClose pins the Close contract: released cache, structured
+// error on further use, idempotence.
+func TestEngineClose(t *testing.T) {
+	g := engineTestGraph(100, 27)
+	states := engineTestStates(g.N(), 3, 10, 28)
+	e := NewEngine(g, DefaultOptions(), EngineConfig{Workers: 2})
+	if _, err := e.Series(context.Background(), states); err != nil {
+		t.Fatalf("Series before Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := e.Pairs(ctx, []StatePair{{A: states[0], B: states[1]}}); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Pairs after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Distance(ctx, states[0], states[1]); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Distance after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Series(ctx, states); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Series after Close: err = %v, want ErrEngineClosed", err)
+	}
+	// Closedness wins over every other validation, so errors.Is
+	// branching on ErrEngineClosed is reliable regardless of input.
+	if _, err := e.Series(ctx, states[:1]); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("short Series after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := e.Matrix(ctx, states[:1]); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Matrix after Close: err = %v, want ErrEngineClosed", err)
+	}
+	if !e.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+}
+
+// TestGroundCacheEvictRef checks eviction refunds the budget and only
+// touches the requested reference state.
+func TestGroundCacheEvictRef(t *testing.T) {
+	gc := newGroundCache(1 << 20)
+	budget0 := gc.budget
+	refA := hashKey{1, 2}
+	refB := hashKey{3, 4}
+	gc.putWeights(weightKey{ref: refA, op: opinion.Positive}, make([]int32, 100))
+	gc.putRow(rowKey{ref: refA, op: opinion.Positive, src: 0}, make([]int64, 50))
+	gc.putRow(rowKey{ref: refA, op: opinion.Positive, src: 1}, make([]int64, 50))
+	gc.putWeights(weightKey{ref: refB, op: opinion.Negative}, make([]int32, 10))
+	gc.putRow(rowKey{ref: refB, op: opinion.Negative, src: 2}, make([]int64, 5))
+	spentB := int64(10*4 + 5*8)
+	gc.evictRef(refA)
+	if gc.budget != budget0-spentB {
+		t.Errorf("budget after evict = %d, want %d (refund of A's bytes only)", gc.budget, budget0-spentB)
+	}
+	if _, ok := gc.getWeights(weightKey{ref: refA, op: opinion.Positive}); ok {
+		t.Error("evicted weights still present")
+	}
+	if _, ok := gc.getRow(rowKey{ref: refA, op: opinion.Positive, src: 0}); ok {
+		t.Error("evicted row still present")
+	}
+	if _, ok := gc.getWeights(weightKey{ref: refB, op: opinion.Negative}); !ok {
+		t.Error("unrelated ref's weights were evicted")
+	}
+	if _, ok := gc.getRow(rowKey{ref: refB, op: opinion.Negative, src: 2}); !ok {
+		t.Error("unrelated ref's row was evicted")
+	}
+}
+
+// TestEngineEvictRefKeepsResults checks eviction is purely a memory
+// decision: values are unchanged after evicting a reference state.
+func TestEngineEvictRefKeepsResults(t *testing.T) {
+	g := engineTestGraph(150, 29)
+	states := engineTestStates(g.N(), 4, 15, 30)
+	e := NewEngine(g, DefaultOptions(), EngineConfig{Workers: 2})
+	ctx := context.Background()
+	before, err := e.Series(ctx, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EvictRef(states[0])
+	e.EvictRef(states[1])
+	after, err := e.Series(ctx, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Errorf("eviction changed results: %v vs %v", before, after)
 	}
 }

@@ -1,0 +1,34 @@
+package core
+
+import "errors"
+
+// Structured sentinel errors for input validation and handle lifetime.
+// Every validation failure in this package wraps exactly one of these,
+// so callers branch with errors.Is instead of matching message strings:
+//
+//	if errors.Is(err, core.ErrStateSize) { ... }
+//
+// The wrapped message still carries the offending indices and sizes.
+var (
+	// ErrStateSize reports a state (or state delta) whose shape does
+	// not fit the graph: wrong user count, or a delta addressing a user
+	// outside [0, n).
+	ErrStateSize = errors.New("state size mismatch")
+
+	// ErrInvalidOpinion reports an opinion value outside
+	// {Negative, Neutral, Positive}.
+	ErrInvalidOpinion = errors.New("invalid opinion")
+
+	// ErrClusterLabels reports Options.Clusters whose length does not
+	// match the graph's user count.
+	ErrClusterLabels = errors.New("cluster labels mismatch")
+
+	// ErrShortSeries reports a series workload (Engine.Series, the
+	// anomaly pipeline) invoked with fewer than two states — there is
+	// no adjacent pair to evaluate.
+	ErrShortSeries = errors.New("series needs at least 2 states")
+
+	// ErrEngineClosed reports a call on an Engine (or a handle wrapping
+	// one) after Close.
+	ErrEngineClosed = errors.New("engine is closed")
+)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -38,8 +39,9 @@ type TermPlan struct {
 // opinion changes, and what each unit cost. The bipartite engine is
 // used for every term (it is the one that materializes user-level
 // arcs), so Explain costs about as much as Distance with
-// Engine == EngineBipartite.
-func Explain(g *graph.Digraph, a, b opinion.State, opts Options) (Result, [4]TermPlan, error) {
+// Engine == EngineBipartite. Cancellation via ctx is observed between
+// SSSP runs and flow pushes, like the Engine batch paths.
+func Explain(ctx context.Context, g *graph.Digraph, a, b opinion.State, opts Options) (Result, [4]TermPlan, error) {
 	opts = opts.withDefaults()
 	opts.Engine = EngineBipartite
 	if err := opts.validate(g, a, b); err != nil {
@@ -56,7 +58,7 @@ func Explain(g *graph.Digraph, a, b opinion.State, opts Options) (Result, [4]Ter
 			res.EnginesUsed[i] = EngineBipartite
 			continue
 		}
-		v, runs, err := termBipartiteCollect(g, spec, red, opts, &plans[i].Moves)
+		v, runs, err := termBipartiteCollect(ctx, g, spec, red, opts, &plans[i].Moves)
 		if err != nil {
 			return Result{}, plans, fmt.Errorf("core: explain term %d: %w", i, err)
 		}
@@ -80,8 +82,8 @@ func Explain(g *graph.Digraph, a, b opinion.State, opts Options) (Result, [4]Ter
 
 // termBipartiteCollect runs the bipartite pipeline and harvests the
 // per-arc flows into user-level moves.
-func termBipartiteCollect(g *graph.Digraph, spec termSpec, red reduction, o Options, out *[]Move) (float64, int, error) {
-	v, runs, nw, arcs, err := termBipartiteNetwork(g, spec, red, o, termCtx{})
+func termBipartiteCollect(ctx context.Context, g *graph.Digraph, spec termSpec, red reduction, o Options, out *[]Move) (float64, int, error) {
+	v, runs, nw, arcs, err := termBipartiteNetwork(g, spec, red, o, termCtx{ctx: ctx})
 	if err != nil {
 		return 0, runs, err
 	}

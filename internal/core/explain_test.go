@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,7 +15,7 @@ func TestExplainMatchesDistance(t *testing.T) {
 	g := graph.ErdosRenyi(50, 300, 71)
 	a := randState(50, 0.4, rng)
 	b := perturb(a, 8, rng)
-	res, plans, err := Explain(g, a, b, DefaultOptions())
+	res, plans, err := Explain(context.Background(), g, a, b, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestExplainSimpleActivation(t *testing.T) {
 	g := b.Build()
 	before := opinion.State{opinion.Positive, opinion.Neutral}
 	after := opinion.State{opinion.Positive, opinion.Positive}
-	res, plans, err := Explain(g, before, after, DefaultOptions())
+	res, plans, err := Explain(context.Background(), g, before, after, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestExplainSimpleActivation(t *testing.T) {
 
 func TestExplainValidation(t *testing.T) {
 	g := graph.Ring(4)
-	if _, _, err := Explain(g, opinion.NewState(3), opinion.NewState(4), DefaultOptions()); err == nil {
+	if _, _, err := Explain(context.Background(), g, opinion.NewState(3), opinion.NewState(4), DefaultOptions()); err == nil {
 		t.Error("state mismatch accepted")
 	}
 }

@@ -45,7 +45,8 @@ import (
 	"snd/internal/pqueue"
 )
 
-// Engine selects the SND computation strategy.
+// ComputeEngine selects the SND computation strategy (the Engine field
+// of Options).
 type ComputeEngine int
 
 const (
@@ -166,20 +167,20 @@ func (o Options) withDefaults() Options {
 
 func (o Options) validate(g *graph.Digraph, a, b opinion.State) error {
 	if len(a) != g.N() || len(b) != g.N() {
-		return fmt.Errorf("core: states have %d/%d users, graph has %d", len(a), len(b), g.N())
+		return fmt.Errorf("core: states have %d/%d users, graph has %d: %w", len(a), len(b), g.N(), ErrStateSize)
 	}
 	for i, s := range a {
 		if !s.Valid() {
-			return fmt.Errorf("core: state A user %d has invalid opinion %d", i, s)
+			return fmt.Errorf("core: state A user %d has opinion %d: %w", i, s, ErrInvalidOpinion)
 		}
 	}
 	for i, s := range b {
 		if !s.Valid() {
-			return fmt.Errorf("core: state B user %d has invalid opinion %d", i, s)
+			return fmt.Errorf("core: state B user %d has opinion %d: %w", i, s, ErrInvalidOpinion)
 		}
 	}
 	if o.Clusters != nil && len(o.Clusters) != g.N() {
-		return fmt.Errorf("core: %d cluster labels for %d users", len(o.Clusters), g.N())
+		return fmt.Errorf("core: %d cluster labels for %d users: %w", len(o.Clusters), g.N(), ErrClusterLabels)
 	}
 	return nil
 }
@@ -200,6 +201,6 @@ type Result struct {
 	// so results stay identical across engines, worker counts, and
 	// cache configurations.
 	SSSPRuns int
-	// Engine records the engine that produced each term.
+	// EnginesUsed records the engine that produced each term.
 	EnginesUsed [4]ComputeEngine
 }

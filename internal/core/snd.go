@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"snd/internal/emd"
@@ -85,9 +86,12 @@ func Direct(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error) 
 }
 
 // Series computes the distances between every adjacent pair of a state
-// series: out[i] = SND(states[i], states[i+1]). It runs on a default
-// Engine (one worker per CPU); construct an Engine directly to control
-// worker count and cache budget across many series.
-func Series(g *graph.Digraph, states []opinion.State, opts Options) ([]float64, error) {
-	return NewEngine(g, opts, EngineConfig{}).Series(states)
+// series: out[i] = SND(states[i], states[i+1]). It runs on a transient
+// Engine (one worker per CPU), released before returning; construct an
+// Engine directly to control worker count and cache budget across many
+// series.
+func Series(ctx context.Context, g *graph.Digraph, states []opinion.State, opts Options) ([]float64, error) {
+	e := NewEngine(g, opts, EngineConfig{})
+	defer e.Close()
+	return e.Series(ctx, states)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"snd/internal/cluster"
@@ -96,16 +97,23 @@ func reduce(spec termSpec, clusters []int, n int) reduction {
 		}
 		return r
 	}
-	byCluster := make(map[int][]int32)
+	// Group bank bins by cluster in first-seen order (bankBins is in
+	// ascending user order), so the bank list — and therefore Explain's
+	// transport plans — is deterministic rather than map-iteration
+	// ordered. Term values never depended on this order (the optimal
+	// cost is unique), but the realized plan does.
+	byCluster := make(map[int]int)
 	for _, v := range bankBins {
 		c := clusters[v]
-		byCluster[c] = append(byCluster[c], v)
+		if _, seen := byCluster[c]; !seen {
+			byCluster[c] = len(r.banks)
+			r.banks = append(r.banks, bankGroup{})
+		}
+		b := &r.banks[byCluster[c]]
+		b.members = append(b.members, v)
 	}
-	for _, members := range byCluster {
-		r.banks = append(r.banks, bankGroup{
-			members: members,
-			units:   delta * int64(len(members)),
-		})
+	for i := range r.banks {
+		r.banks[i].units = delta * int64(len(r.banks[i].members))
 	}
 	return r
 }
@@ -121,14 +129,27 @@ func infCost(n int, maxEdgeCost int64, escapeHops int) int64 {
 	return hops * maxEdgeCost
 }
 
-// termCtx threads an engine worker's scratch arena and the engine's
-// shared ground-distance cache into a term computation. The zero value
-// (no reuse, no cache) reproduces the standalone sequential behavior.
+// termCtx threads an engine worker's scratch arena, the engine's shared
+// ground-distance cache, and the request context into a term
+// computation. The zero value (no reuse, no cache, no cancellation)
+// reproduces the standalone sequential behavior.
 type termCtx struct {
-	sc *scratch
-	gc *groundCache
+	// ctx, when non-nil, is checked between SSSP runs and handed to the
+	// flow solvers so a cancelled request stops mid-term. It never
+	// changes the numeric result of an uncancelled computation.
+	ctx context.Context
+	sc  *scratch
+	gc  *groundCache
 	// refHash fingerprints spec.ref; only meaningful when gc != nil.
 	refHash hashKey
+}
+
+// cancelled returns the context error, tolerating the zero termCtx.
+func (tc termCtx) cancelled() error {
+	if tc.ctx == nil {
+		return nil
+	}
+	return tc.ctx.Err()
 }
 
 // groundWeights returns the eq. 2 edge costs of spec's ground distance
@@ -195,7 +216,7 @@ func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float6
 		v, err := termNetwork(g, spec, red, o, tc)
 		return v, 0, engine, err
 	case EngineDense:
-		v, err := termDense(g, spec, o)
+		v, err := termDense(g, spec, o, tc)
 		return v, n, engine, err
 	default:
 		return 0, 0, engine, fmt.Errorf("core: unknown engine %d", engine)
@@ -236,6 +257,9 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 		res = &tc.sc.res
 	}
 	for i, s := range sources {
+		if err := tc.cancelled(); err != nil {
+			return 0, 0, nil, nil, err
+		}
 		var rk rowKey
 		if tc.gc != nil {
 			rk = rowKey{ref: tc.refHash, op: spec.op, reversed: reversed, src: s}
@@ -361,7 +385,7 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 			}
 		}
 	}
-	cost, err := solveNetwork(nw, o, inf+o.Gamma, true)
+	cost, err := solveNetwork(tc.ctx, nw, o, inf+o.Gamma, true)
 	if err != nil {
 		return 0, len(sources), nil, nil, err
 	}
@@ -422,7 +446,7 @@ func termNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc t
 			nw.SetExcess(n+b, -red.banks[b].units)
 		}
 	}
-	cost, err := solveNetwork(nw, o, maxCost, false)
+	cost, err := solveNetwork(tc.ctx, nw, o, maxCost, false)
 	if err != nil {
 		return 0, err
 	}
@@ -443,8 +467,10 @@ func bankUnits(red reduction) int64 {
 // solveNetwork dispatches to the configured min-cost-flow solver.
 // Small bipartite instances default to SSP (few augmentations); large
 // instances and network-routed ones to cost-scaling, which measured
-// ~25x faster on reduced instances with thousands of nodes.
-func solveNetwork(nw *flow.Network, o Options, maxArcCost int64, bipartite bool) (int64, error) {
+// ~25x faster on reduced instances with thousands of nodes. ctx (which
+// may be nil) lets the solvers abandon a cancelled request between flow
+// pushes.
+func solveNetwork(ctx context.Context, nw *flow.Network, o Options, maxArcCost int64, bipartite bool) (int64, error) {
 	solver := o.Solver
 	if solver == FlowAuto {
 		if bipartite && nw.N() <= 600 {
@@ -454,14 +480,19 @@ func solveNetwork(nw *flow.Network, o Options, maxArcCost int64, bipartite bool)
 		}
 	}
 	if solver == FlowSSP {
-		return nw.SolveSSP(o.Heap, maxArcCost)
+		return nw.SolveSSP(ctx, o.Heap, maxArcCost)
 	}
-	return nw.SolveCostScaling()
+	return nw.SolveCostScaling(ctx)
 }
 
 // termDense is the oracle engine: full Johnson all-pairs ground
-// distance plus dense EMD*.
-func termDense(g *graph.Digraph, spec termSpec, o Options) (float64, error) {
+// distance plus dense EMD*. The all-pairs run dominates, so the one
+// cancellation check before it (plus the engine's term-boundary check)
+// bounds wasted work to a single dense term.
+func termDense(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float64, error) {
+	if err := tc.cancelled(); err != nil {
+		return 0, err
+	}
 	w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
 	maxCost := o.Costs.MaxCost()
 	inf := infCost(g.N(), maxCost, o.EscapeHops)

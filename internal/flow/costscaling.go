@@ -1,6 +1,16 @@
 package flow
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
+
+// cancelCheckInterval is how many FIFO queue pops the cost-scaling
+// solver processes between ctx checks. Each pop drains one node's
+// excess (a run of pushes, possibly with relabels), so the interval
+// bounds the extra work after cancellation without putting a ctx load
+// on the per-push hot path.
+const cancelCheckInterval = 1024
 
 // SolveCostScaling routes all declared excess with Goldberg-Tarjan
 // cost-scaling push-relabel — the algorithm behind the CS2 solver used
@@ -13,7 +23,12 @@ import "fmt"
 // flow is optimal. Within a refine, admissible arcs (residual arcs with
 // negative reduced cost) are saturated first and remaining excesses are
 // drained by FIFO push/relabel.
-func (nw *Network) SolveCostScaling() (int64, error) {
+//
+// The solve checks ctx at every refine round and every
+// cancelCheckInterval queue pops, returning ctx.Err() when cancelled
+// and leaving the network partially routed (reuse only via Reset). A
+// nil ctx means no cancellation.
+func (nw *Network) SolveCostScaling(ctx context.Context) (int64, error) {
 	supply, demand := nw.totalSupply()
 	if supply != demand {
 		return 0, fmt.Errorf("flow: unbalanced network: supply %d != demand %d", supply, demand)
@@ -56,7 +71,13 @@ func (nw *Network) SolveCostScaling() (int64, error) {
 	cur := nw.scCur
 
 	relabelBudget := int64(0)
+	pops := 0
 	for eps >= 1 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		// Saturate every admissible arc to establish eps/..-optimality.
 		for v := 0; v < n; v++ {
 			for a := nw.firstArc[v]; a >= 0; a = nw.nextArc[a] {
@@ -85,6 +106,11 @@ func (nw *Network) SolveCostScaling() (int64, error) {
 		// FIFO push/relabel loop.
 		relabelBudget = 8 * int64(n) * int64(n) * 4 // safety net, far above the O(n^2) relabels per refine
 		for len(queue) > 0 {
+			if pops++; ctx != nil && pops%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			v := int(queue[0])
 			queue = queue[1:]
 			inQueue[v] = false

@@ -1,6 +1,8 @@
 package flow
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -275,7 +277,7 @@ func TestNetworkSolversMatchDense(t *testing.T) {
 			t.Fatal(err)
 		}
 		nw := buildBipartiteNetwork(p, 1)
-		got, err := nw.SolveSSP(pqueue.KindBinary, 20)
+		got, err := nw.SolveSSP(context.Background(), pqueue.KindBinary, 20)
 		if err != nil {
 			t.Fatalf("trial %d: network SSP: %v", trial, err)
 		}
@@ -283,7 +285,7 @@ func TestNetworkSolversMatchDense(t *testing.T) {
 			t.Fatalf("trial %d: network SSP cost %d, dense %v", trial, got, ref.Cost)
 		}
 		nw2 := buildBipartiteNetwork(p, 1)
-		got2, err := nw2.SolveCostScaling()
+		got2, err := nw2.SolveCostScaling(context.Background())
 		if err != nil {
 			t.Fatalf("trial %d: cost scaling: %v", trial, err)
 		}
@@ -300,12 +302,12 @@ func TestNetworkResetFlow(t *testing.T) {
 		Cost:   CostMatrix([][]float64{{1, 4}, {2, 6}}),
 	}
 	nw := buildBipartiteNetwork(p, 1)
-	c1, err := nw.SolveSSP(pqueue.KindRadix, 6)
+	c1, err := nw.SolveSSP(context.Background(), pqueue.KindRadix, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	nw.ResetFlow()
-	c2, err := nw.SolveCostScaling()
+	c2, err := nw.SolveCostScaling(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,15 +321,15 @@ func TestNetworkInfeasible(t *testing.T) {
 	nw.SetExcess(0, 1)
 	nw.SetExcess(1, -1)
 	// No arcs at all: stranded excess.
-	if _, err := nw.SolveSSP(pqueue.KindBinary, 1); err == nil {
+	if _, err := nw.SolveSSP(context.Background(), pqueue.KindBinary, 1); err == nil {
 		t.Error("SolveSSP accepted disconnected instance")
 	}
 	nw2 := NewNetwork(2, 1)
 	nw2.SetExcess(0, 1)
-	if _, err := nw2.SolveSSP(pqueue.KindBinary, 1); err == nil {
+	if _, err := nw2.SolveSSP(context.Background(), pqueue.KindBinary, 1); err == nil {
 		t.Error("SolveSSP accepted unbalanced instance")
 	}
-	if _, err := nw2.SolveCostScaling(); err == nil {
+	if _, err := nw2.SolveCostScaling(context.Background()); err == nil {
 		t.Error("SolveCostScaling accepted unbalanced instance")
 	}
 }
@@ -339,7 +341,7 @@ func TestNetworkCapacityRespected(t *testing.T) {
 	nw.SetExcess(1, -3)
 	cheap := nw.AddArc(0, 1, 1, 1)
 	exp := nw.AddArc(0, 1, 10, 5)
-	cost, err := nw.SolveSSP(pqueue.KindBinary, 5)
+	cost, err := nw.SolveSSP(context.Background(), pqueue.KindBinary, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,8 +364,8 @@ func TestNetworkThroughIntermediate(t *testing.T) {
 	nw.AddArc(1, 3, 100, 4)
 	want := int64(5*2 + 2*3 + 3*4)
 	for name, solve := range map[string]func() (int64, error){
-		"ssp":  func() (int64, error) { return nw.SolveSSP(pqueue.KindBinary, 4) },
-		"cost": func() (int64, error) { nw.ResetFlow(); return nw.SolveCostScaling() },
+		"ssp":  func() (int64, error) { return nw.SolveSSP(context.Background(), pqueue.KindBinary, 4) },
+		"cost": func() (int64, error) { nw.ResetFlow(); return nw.SolveCostScaling(context.Background()) },
 	} {
 		got, err := solve()
 		if err != nil {
@@ -399,8 +401,8 @@ func TestQuickNetworkSolversAgree(t *testing.T) {
 			nw.SetExcess(n-1, -total)
 			return nw
 		}
-		a, errA := build().SolveSSP(pqueue.KindRadix, 9)
-		b, errB := build().SolveCostScaling()
+		a, errA := build().SolveSSP(context.Background(), pqueue.KindRadix, 9)
+		b, errB := build().SolveCostScaling(context.Background())
 		if (errA == nil) != (errB == nil) {
 			return false
 		}
@@ -445,8 +447,36 @@ func BenchmarkNetworkCostScaling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		nw := buildBipartiteNetwork(p, 1)
-		if _, err := nw.SolveCostScaling(); err != nil {
+		if _, err := nw.SolveCostScaling(context.Background()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestNetworkSolversCancelled checks both solvers observe an already-
+// cancelled context before doing any routing work, and that a nil
+// context means "no cancellation".
+func TestNetworkSolversCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	build := func() *Network {
+		nw := NewNetwork(3, 2)
+		nw.SetExcess(0, 2)
+		nw.SetExcess(2, -2)
+		nw.AddArc(0, 1, 5, 1)
+		nw.AddArc(1, 2, 5, 1)
+		return nw
+	}
+	if _, err := build().SolveSSP(ctx, pqueue.KindBinary, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("SolveSSP cancelled: err = %v, want context.Canceled", err)
+	}
+	if _, err := build().SolveCostScaling(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("SolveCostScaling cancelled: err = %v, want context.Canceled", err)
+	}
+	if _, err := build().SolveSSP(nil, pqueue.KindBinary, 2); err != nil {
+		t.Errorf("SolveSSP nil ctx: %v", err)
+	}
+	if _, err := build().SolveCostScaling(nil); err != nil {
+		t.Errorf("SolveCostScaling nil ctx: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -171,10 +172,15 @@ func (nw *Network) totalSupply() (supply, demand int64) {
 // node potentials (Dijkstra on reduced costs). All arc costs must be
 // non-negative. Returns the total routing cost.
 //
+// The solve checks ctx between augmentations (each augmentation is one
+// Dijkstra plus one path update) and returns ctx.Err() when cancelled,
+// leaving the network in an undefined partially-routed state; callers
+// reuse it only via Reset. A nil ctx means no cancellation.
+//
 // Reduced costs are not bounded by the original arc costs, so Dial's
 // bucket queue cannot be used here; KindDial is silently promoted to
 // KindRadix (which only needs monotonicity).
-func (nw *Network) SolveSSP(kind pqueue.Kind, maxArcCost int64) (int64, error) {
+func (nw *Network) SolveSSP(ctx context.Context, kind pqueue.Kind, maxArcCost int64) (int64, error) {
 	supply, demand := nw.totalSupply()
 	if supply != demand {
 		return 0, fmt.Errorf("flow: unbalanced network: supply %d != demand %d", supply, demand)
@@ -196,6 +202,11 @@ func (nw *Network) SolveSSP(kind pqueue.Kind, maxArcCost int64) (int64, error) {
 	q := pqueue.New(kind, maxArcCost, n)
 	remaining := supply
 	for remaining > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		// Multi-source Dijkstra from all positive-excess nodes over
 		// reduced costs rc(a: v->w) = cost(a) + price(v) - price(w).
 		for i := range dist {

@@ -16,6 +16,7 @@
 package predict
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,21 +40,40 @@ type StateDistance interface {
 // ground-distance caching) and the batch entry points Series and
 // DistancePairs parallelize across all requested pairs; otherwise each
 // call falls back to sequential core.Distance.
+//
+// An SNDMeasure with an attached Engine holds that engine's cache and
+// scratch memory. Close releases the engine only when the measure owns
+// it (OwnsEngine): measures borrowed from a snd.Network share the
+// handle's engine, and closing them must not kill the handle.
 type SNDMeasure struct {
 	G      *graph.Digraph
 	Opts   core.Options
 	Engine *core.Engine
+	// OwnsEngine marks the engine as private to this measure, making
+	// Close release it. Constructors that lend a shared engine leave
+	// it false.
+	OwnsEngine bool
 }
 
 // Name implements StateDistance.
 func (SNDMeasure) Name() string { return "snd" }
+
+// Close releases the attached engine when this measure owns it; for a
+// borrowed (shared) engine it is a no-op — close the owner instead. It
+// satisfies io.Closer.
+func (m SNDMeasure) Close() error {
+	if m.Engine != nil && m.OwnsEngine {
+		return m.Engine.Close()
+	}
+	return nil
+}
 
 // Distance implements StateDistance.
 func (m SNDMeasure) Distance(a, b opinion.State) (float64, error) {
 	var res core.Result
 	var err error
 	if m.Engine != nil {
-		res, err = m.Engine.Distance(a, b)
+		res, err = m.Engine.Distance(context.Background(), a, b)
 	} else {
 		res, err = core.Distance(m.G, a, b, m.Opts)
 	}
@@ -64,22 +84,22 @@ func (m SNDMeasure) Distance(a, b opinion.State) (float64, error) {
 }
 
 // Series returns the distances between every adjacent pair of states.
-func (m SNDMeasure) Series(states []opinion.State) ([]float64, error) {
+func (m SNDMeasure) Series(ctx context.Context, states []opinion.State) ([]float64, error) {
 	if m.Engine != nil {
-		return m.Engine.Series(states)
+		return m.Engine.Series(ctx, states)
 	}
-	return core.Series(m.G, states, m.Opts)
+	return core.Series(ctx, m.G, states, m.Opts)
 }
 
 // DistancePairs evaluates every requested (A, B) pair, scheduling all
 // of them across the engine's workers when one is attached.
-func (m SNDMeasure) DistancePairs(pairs [][2]opinion.State) ([]float64, error) {
+func (m SNDMeasure) DistancePairs(ctx context.Context, pairs [][2]opinion.State) ([]float64, error) {
 	if m.Engine != nil {
 		sp := make([]core.StatePair, len(pairs))
 		for i, p := range pairs {
 			sp[i] = core.StatePair{A: p[0], B: p[1]}
 		}
-		results, err := m.Engine.Pairs(sp)
+		results, err := m.Engine.Pairs(ctx, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -91,6 +111,11 @@ func (m SNDMeasure) DistancePairs(pairs [][2]opinion.State) ([]float64, error) {
 	}
 	out := make([]float64, len(pairs))
 	for i, p := range pairs {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		v, err := m.Distance(p[0], p[1])
 		if err != nil {
 			return nil, err
@@ -103,16 +128,19 @@ func (m SNDMeasure) DistancePairs(pairs [][2]opinion.State) ([]float64, error) {
 // PairDistancer is satisfied by measures that can evaluate many state
 // pairs in one batch (SNDMeasure with an attached engine).
 type PairDistancer interface {
-	DistancePairs(pairs [][2]opinion.State) ([]float64, error)
+	DistancePairs(ctx context.Context, pairs [][2]opinion.State) ([]float64, error)
 }
 
 // Predictor predicts the opinions of target users in the current
 // (incomplete) network state. past holds the observed recent states,
 // oldest first; current has the targets' opinions blanked to Neutral.
-// The returned slice is aligned with targets.
+// The returned slice is aligned with targets. Cancelling ctx aborts the
+// prediction with ctx.Err(); how promptly depends on the method (the
+// distance-based search checks between candidate batches and inside the
+// engine's term scheduling).
 type Predictor interface {
 	Name() string
-	Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error)
+	Predict(ctx context.Context, past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error)
 }
 
 // DistanceBased is the Section 6.3 randomized-search predictor.
@@ -129,19 +157,22 @@ type DistanceBased struct {
 func (d DistanceBased) Name() string { return d.Measure.Name() }
 
 // Predict implements Predictor.
-func (d DistanceBased) Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+func (d DistanceBased) Predict(ctx context.Context, past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
 	if len(past) < 2 {
-		return nil, fmt.Errorf("predict: distance-based method needs >= 2 past states, have %d", len(past))
+		return nil, fmt.Errorf("predict: distance-based method needs >= 2 past states, have %d: %w", len(past), core.ErrShortSeries)
 	}
 	if d.Assignments < 1 {
 		d.Assignments = 100
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	rng := rand.New(rand.NewSource(d.Seed))
 	// Distances between adjacent past states, extrapolated one step.
 	var dists []float64
 	var err error
 	if sm, ok := d.Measure.(seriesDistancer); ok {
-		dists, err = sm.Series(past)
+		dists, err = sm.Series(ctx, past)
 	} else {
 		dists = make([]float64, 0, len(past)-1)
 		for i := 0; i+1 < len(past); i++ {
@@ -171,6 +202,9 @@ func (d DistanceBased) Predict(past []opinion.State, current opinion.State, targ
 	candidates := make([]opinion.State, 0, chunkSize)
 	pairs := make([][2]opinion.State, 0, chunkSize)
 	for done := 0; done < d.Assignments; done += len(candidates) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		candidates = candidates[:0]
 		pairs = pairs[:0]
 		for trial := done; trial < d.Assignments && trial < done+chunkSize; trial++ {
@@ -187,7 +221,7 @@ func (d DistanceBased) Predict(past []opinion.State, current opinion.State, targ
 		}
 		var vals []float64
 		if batched {
-			vals, err = pd.DistancePairs(pairs)
+			vals, err = pd.DistancePairs(ctx, pairs)
 		} else {
 			vals = make([]float64, len(pairs))
 			for i, p := range pairs {
@@ -215,7 +249,7 @@ func (d DistanceBased) Predict(past []opinion.State, current opinion.State, targ
 // seriesDistancer is satisfied by measures with a batch adjacent-pair
 // entry point.
 type seriesDistancer interface {
-	Series(states []opinion.State) ([]float64, error)
+	Series(ctx context.Context, states []opinion.State) ([]float64, error)
 }
 
 // NhoodVoting predicts each target's opinion by probabilistic voting
@@ -229,8 +263,14 @@ type NhoodVoting struct {
 // Name implements Predictor.
 func (NhoodVoting) Name() string { return "nhood-voting" }
 
-// Predict implements Predictor.
-func (n NhoodVoting) Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+// Predict implements Predictor. The voting pass is a single cheap
+// sweep; ctx is only checked on entry.
+func (n NhoodVoting) Predict(ctx context.Context, past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	rng := rand.New(rand.NewSource(n.Seed))
 	rev := n.G.Reverse()
 	out := make([]opinion.Opinion, len(targets))
@@ -269,8 +309,14 @@ type CommunityLP struct {
 // Name implements Predictor.
 func (CommunityLP) Name() string { return "community-lp" }
 
-// Predict implements Predictor.
-func (c CommunityLP) Predict(past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+// Predict implements Predictor. Label propagation is bounded by
+// MaxIter sweeps; ctx is only checked on entry.
+func (c CommunityLP) Predict(ctx context.Context, past []opinion.State, current opinion.State, targets []int) ([]opinion.Opinion, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	maxIter := c.MaxIter
 	if maxIter < 1 {
 		maxIter = 20

@@ -1,6 +1,7 @@
 package predict
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestNhoodVoting(t *testing.T) {
 	g := b.Build()
 	current := opinion.State{opinion.Positive, opinion.Positive, opinion.Neutral, opinion.Neutral}
 	p := NhoodVoting{G: g, Seed: 1}
-	got, err := p.Predict(nil, current, []int{2})
+	got, err := p.Predict(context.Background(), nil, current, []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestNhoodVoting(t *testing.T) {
 		t.Errorf("prediction = %v, want +", got[0])
 	}
 	// Isolated target: random but never neutral.
-	got, _ = p.Predict(nil, current, []int{3})
+	got, _ = p.Predict(context.Background(), nil, current, []int{3})
 	if got[0] == opinion.Neutral {
 		t.Error("random fallback predicted neutral")
 	}
@@ -136,7 +137,7 @@ func TestCommunityLP(t *testing.T) {
 	targets := []int{4, 10}
 	current = Blank(current, targets)
 	p := CommunityLP{G: g, Seed: 2}
-	got, err := p.Predict(nil, current, targets)
+	got, err := p.Predict(context.Background(), nil, current, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestCommunityLP(t *testing.T) {
 
 func TestDistanceBasedNeedsHistory(t *testing.T) {
 	p := DistanceBased{Measure: distance.Hamming{N: 6}}
-	if _, err := p.Predict([]opinion.State{opinion.NewState(6)}, opinion.NewState(6), []int{0}); err == nil {
+	if _, err := p.Predict(context.Background(), []opinion.State{opinion.NewState(6)}, opinion.NewState(6), []int{0}); err == nil {
 		t.Error("single past state accepted")
 	}
 }
@@ -168,7 +169,7 @@ func TestDistanceBasedWithSND(t *testing.T) {
 	past := states[:len(states)-1]
 	m := SNDMeasure{G: g, Opts: core.DefaultOptions()}
 	p := DistanceBased{Measure: m, Assignments: 40, Seed: 13}
-	got, err := p.Predict(past, current, targets)
+	got, err := p.Predict(context.Background(), past, current, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,11 +206,11 @@ func TestDistanceBasedDeterministic(t *testing.T) {
 	}
 	current := Blank(truth, targets)
 	p := DistanceBased{Measure: distance.Hamming{N: g.N()}, Assignments: 30, Seed: 23}
-	a, err := p.Predict(states[:len(states)-1], current, targets)
+	a, err := p.Predict(context.Background(), states[:len(states)-1], current, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b2, err := p.Predict(states[:len(states)-1], current, targets)
+	b2, err := p.Predict(context.Background(), states[:len(states)-1], current, targets)
 	if err != nil {
 		t.Fatal(err)
 	}

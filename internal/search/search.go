@@ -11,6 +11,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,7 +30,7 @@ type Distance interface {
 // evaluate many pairs at once (the engine-backed SND measure) satisfy
 // it, and the index routes its bulk workloads through it.
 type pairDistancer interface {
-	DistancePairs(pairs [][2]opinion.State) ([]float64, error)
+	DistancePairs(ctx context.Context, pairs [][2]opinion.State) ([]float64, error)
 }
 
 // Index is a collection of network states searchable by distance.
@@ -84,10 +85,13 @@ type Neighbor struct {
 }
 
 // NearestNeighbors returns the k indexed states closest to the query,
-// ascending by distance.
-func (ix *Index) NearestNeighbors(query opinion.State, k int) ([]Neighbor, error) {
+// ascending by distance. Cancelling ctx aborts the scan with ctx.Err().
+func (ix *Index) NearestNeighbors(ctx context.Context, query opinion.State, k int) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("search: k must be >= 1, got %d", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	out := make([]Neighbor, 0, len(ix.states))
 	if pd, ok := ix.dist.(pairDistancer); ok && len(ix.states) > 1 {
@@ -95,7 +99,7 @@ func (ix *Index) NearestNeighbors(query opinion.State, k int) ([]Neighbor, error
 		for i := range ix.states {
 			pairs[i] = [2]opinion.State{query, ix.states[i]}
 		}
-		ds, err := pd.DistancePairs(pairs)
+		ds, err := pd.DistancePairs(ctx, pairs)
 		if err != nil {
 			return nil, err
 		}
@@ -104,6 +108,9 @@ func (ix *Index) NearestNeighbors(query opinion.State, k int) ([]Neighbor, error
 		}
 	} else {
 		for i := range ix.states {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			d, err := ix.dist.Distance(query, ix.states[i])
 			if err != nil {
 				return nil, err
@@ -125,11 +132,11 @@ func (ix *Index) NearestNeighbors(query opinion.State, k int) ([]Neighbor, error
 
 // Classify predicts the query's label as the majority label among its
 // k nearest labelled states (ties broken by the nearer neighbors).
-func (ix *Index) Classify(query opinion.State, labels []int, k int) (int, error) {
+func (ix *Index) Classify(ctx context.Context, query opinion.State, labels []int, k int) (int, error) {
 	if len(labels) != len(ix.states) {
 		return 0, fmt.Errorf("search: %d labels for %d states", len(labels), len(ix.states))
 	}
-	nn, err := ix.NearestNeighbors(query, k)
+	nn, err := ix.NearestNeighbors(ctx, query, k)
 	if err != nil {
 		return 0, err
 	}
@@ -163,13 +170,18 @@ type Clustering struct {
 
 // KMedoids clusters the indexed states around k representative states
 // by PAM-style alternation with 8 random restarts, keeping the lowest-
-// cost clustering. Deterministic for a fixed seed.
-func (ix *Index) KMedoids(k, maxIter int, seed int64) (Clustering, error) {
+// cost clustering. Deterministic for a fixed seed. Cancelling ctx
+// aborts between assignment sweeps with ctx.Err(); warming the pair
+// cache first (PairwiseMatrix) makes the sweeps cheap.
+func (ix *Index) KMedoids(ctx context.Context, k, maxIter int, seed int64) (Clustering, error) {
 	const restarts = 8
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var best Clustering
 	bestCost := math.Inf(1)
 	for r := 0; r < restarts; r++ {
-		c, err := ix.kMedoidsOnce(k, maxIter, seed+int64(r)*7919)
+		c, err := ix.kMedoidsOnce(ctx, k, maxIter, seed+int64(r)*7919)
 		if err != nil {
 			return Clustering{}, err
 		}
@@ -180,7 +192,7 @@ func (ix *Index) KMedoids(k, maxIter int, seed int64) (Clustering, error) {
 	return best, nil
 }
 
-func (ix *Index) kMedoidsOnce(k, maxIter int, seed int64) (Clustering, error) {
+func (ix *Index) kMedoidsOnce(ctx context.Context, k, maxIter int, seed int64) (Clustering, error) {
 	n := len(ix.states)
 	if k < 1 || k > n {
 		return Clustering{}, fmt.Errorf("search: k=%d out of range for %d states", k, n)
@@ -189,6 +201,9 @@ func (ix *Index) kMedoidsOnce(k, maxIter int, seed int64) (Clustering, error) {
 	medoids := rng.Perm(n)[:k]
 	assign := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return Clustering{}, err
+		}
 		// Assignment step.
 		for i := 0; i < n; i++ {
 			best, bestD := 0, math.Inf(1)
@@ -262,8 +277,11 @@ func (ix *Index) kMedoidsOnce(k, maxIter int, seed int64) (Clustering, error) {
 // a batch-capable measure, all uncached i < j pairs are evaluated in
 // one parallel batch and the results feed the index cache, which later
 // KMedoids/Classify calls reuse.
-func (ix *Index) PairwiseMatrix() ([][]float64, error) {
+func (ix *Index) PairwiseMatrix(ctx context.Context) ([][]float64, error) {
 	n := len(ix.states)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, n)
@@ -280,7 +298,7 @@ func (ix *Index) PairwiseMatrix() ([][]float64, error) {
 			}
 		}
 		if len(pairs) > 0 {
-			ds, err := pd.DistancePairs(pairs)
+			ds, err := pd.DistancePairs(ctx, pairs)
 			if err != nil {
 				return nil, err
 			}
@@ -290,6 +308,9 @@ func (ix *Index) PairwiseMatrix() ([][]float64, error) {
 		}
 	}
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < n; j++ {
 			d, err := ix.between(i, j)
 			if err != nil {

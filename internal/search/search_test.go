@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestNearestNeighbors(t *testing.T) {
 		t.Fatalf("Len = %d", ix.Len())
 	}
 	query := states[3].Clone()
-	nn, err := ix.NearestNeighbors(query, 3)
+	nn, err := ix.NearestNeighbors(context.Background(), query, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,11 +47,11 @@ func TestNearestNeighbors(t *testing.T) {
 	if nn[1].Index != 2 || nn[2].Index != 4 {
 		t.Errorf("neighbors = %+v", nn)
 	}
-	if _, err := ix.NearestNeighbors(query, 0); err == nil {
+	if _, err := ix.NearestNeighbors(context.Background(), query, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
 	// k beyond the index size clamps.
-	all, err := ix.NearestNeighbors(query, 99)
+	all, err := ix.NearestNeighbors(context.Background(), query, 99)
 	if err != nil || len(all) != 6 {
 		t.Errorf("clamped NN = %d, %v", len(all), err)
 	}
@@ -60,21 +61,21 @@ func TestClassify(t *testing.T) {
 	states := fixtureStates(6, 10)
 	labels := []int{0, 0, 0, 1, 1, 1}
 	ix := NewIndex(states, hammingDist{})
-	got, err := ix.Classify(states[1], labels, 3)
+	got, err := ix.Classify(context.Background(), states[1], labels, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != 0 {
 		t.Errorf("Classify(low state) = %d, want 0", got)
 	}
-	got, err = ix.Classify(states[4], labels, 3)
+	got, err = ix.Classify(context.Background(), states[4], labels, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != 1 {
 		t.Errorf("Classify(high state) = %d, want 1", got)
 	}
-	if _, err := ix.Classify(states[0], []int{1}, 1); err == nil {
+	if _, err := ix.Classify(context.Background(), states[0], []int{1}, 1); err == nil {
 		t.Error("label length mismatch accepted")
 	}
 }
@@ -98,7 +99,7 @@ func TestKMedoids(t *testing.T) {
 		states = append(states, st)
 	}
 	ix := NewIndex(states, hammingDist{})
-	res, err := ix.KMedoids(2, 20, 1)
+	res, err := ix.KMedoids(context.Background(), 2, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +122,14 @@ func TestKMedoids(t *testing.T) {
 		t.Errorf("cost = %v", res.Cost)
 	}
 	// Errors.
-	if _, err := ix.KMedoids(0, 5, 1); err == nil {
+	if _, err := ix.KMedoids(context.Background(), 0, 5, 1); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := ix.KMedoids(99, 5, 1); err == nil {
+	if _, err := ix.KMedoids(context.Background(), 99, 5, 1); err == nil {
 		t.Error("k>n accepted")
 	}
 	// Determinism.
-	res2, err := ix.KMedoids(2, 20, 1)
+	res2, err := ix.KMedoids(context.Background(), 2, 20, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestKMedoids(t *testing.T) {
 func TestPairwiseMatrix(t *testing.T) {
 	states := fixtureStates(4, 8)
 	ix := NewIndex(states, hammingDist{})
-	m, err := ix.PairwiseMatrix()
+	m, err := ix.PairwiseMatrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestPairwiseMatrix(t *testing.T) {
 		t.Errorf("m[0][3] = %v, want 3", m[0][3])
 	}
 	// Cache must be warm now: a second call is consistent.
-	m2, err := ix.PairwiseMatrix()
+	m2, err := ix.PairwiseMatrix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,361 @@
+package snd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"snd/internal/anomaly"
+	"snd/internal/core"
+	"snd/internal/predict"
+	"snd/internal/search"
+)
+
+// Structured sentinel errors. Every validation failure of the handle
+// API (and of the deprecated free functions, which delegate to it)
+// wraps exactly one of these; branch with errors.Is, not string
+// matching.
+var (
+	// ErrStateSize reports a state or delta whose shape does not fit
+	// the network: wrong user count, or a change addressing a user
+	// outside [0, n).
+	ErrStateSize = core.ErrStateSize
+	// ErrInvalidOpinion reports an opinion outside
+	// {Negative, Neutral, Positive}.
+	ErrInvalidOpinion = core.ErrInvalidOpinion
+	// ErrClusterLabels reports Options.Clusters whose length does not
+	// match the network's user count.
+	ErrClusterLabels = core.ErrClusterLabels
+	// ErrShortSeries reports a series workload (Series,
+	// DetectAnomalies) with fewer than two states.
+	ErrShortSeries = core.ErrShortSeries
+	// ErrEngineClosed reports a call on a closed Network (or Engine).
+	ErrEngineClosed = core.ErrEngineClosed
+)
+
+// OpinionChange is one entry of a StateDelta: user User's opinion
+// becomes Opinion.
+type OpinionChange struct {
+	User    int
+	Opinion Opinion
+}
+
+// StateDelta is a sparse state update: the users whose opinion changed
+// since the last tracked state, in any order. Duplicate users are
+// allowed; the last change wins. Deltas are how a client keeps a
+// million-user state current without re-shipping it: the full state
+// crosses the API once (Network.SetState), every subsequent tick is
+// just its changed coordinates.
+type StateDelta []OpinionChange
+
+// retainRecent is how many superseded tracked states keep their
+// ground-distance cache entries. Step evaluates SND(previous, current),
+// so the previous state's SSSP rows are hit again on the very next
+// tick; states older than the window cannot recur as reference states
+// of tracked-state traffic and are evicted to refund cache budget.
+const retainRecent = 4
+
+// Network is the long-lived handle of the package: one social graph,
+// one concurrent compute engine, and (optionally) one tracked state
+// updated by sparse deltas. Construct it once per graph and hang every
+// workload off it — batch distances, anomaly detection over a series,
+// metric-space search, and online monitoring of an evolving state.
+//
+// All methods are safe for concurrent use. Batch methods take a
+// context.Context and return ctx.Err() when cancelled mid-batch; with
+// an un-cancelled context, results are bit-identical to sequential
+// Distance loops (the engine's tests pin this under the race
+// detector).
+//
+// # Lifetime
+//
+// A Network owns no goroutines between calls; its footprint is the
+// engine's ground-distance cache and per-worker scratch arenas. Close
+// releases the cache immediately and fails subsequent calls with
+// ErrEngineClosed. Anything derived from the handle — the Measure
+// returned by Measure, indexes built by Index — shares its engine and
+// dies with it.
+type Network struct {
+	g    *Graph
+	opts Options
+	eng  *Engine
+
+	mu      sync.Mutex
+	cur     State   // tracked state; nil until SetState
+	recent  []State // superseded tracked states still holding cache entries
+	version uint64
+}
+
+// NewNetwork builds a handle over g. opts configures SND exactly as in
+// the free functions; cfg sizes the engine (zero value: one worker per
+// CPU, 128 MiB ground-distance cache).
+func NewNetwork(g *Graph, opts Options, cfg EngineConfig) *Network {
+	return &Network{
+		g:    g,
+		opts: opts,
+		eng:  core.NewEngine(g, opts, cfg),
+	}
+}
+
+// Graph returns the social graph the handle serves.
+func (nw *Network) Graph() *Graph { return nw.g }
+
+// Options returns the SND configuration the handle was built with.
+func (nw *Network) Options() Options { return nw.opts }
+
+// Engine returns the underlying batch compute engine, for callers that
+// want the lower-level API. It shares the handle's lifetime: after
+// Close it fails with ErrEngineClosed.
+func (nw *Network) Engine() *Engine { return nw.eng }
+
+// Close releases the engine's ground-distance cache and marks the
+// handle closed; further calls fail with an error wrapping
+// ErrEngineClosed. In-flight batches run to completion. Close is
+// idempotent and always returns nil (it satisfies io.Closer). The
+// engine is the single source of truth for closedness: closing via
+// Network.Close or Network.Engine().Close closes both surfaces.
+func (nw *Network) Close() error {
+	return nw.eng.Close()
+}
+
+func (nw *Network) closedErr() error {
+	if nw.eng.Closed() {
+		return fmt.Errorf("snd: %w", ErrEngineClosed)
+	}
+	return nil
+}
+
+// Distance computes SND(a, b) (paper eq. 3), evaluating the four EMD*
+// terms concurrently on the handle's engine.
+func (nw *Network) Distance(ctx context.Context, a, b State) (Result, error) {
+	return nw.eng.Distance(ctx, a, b)
+}
+
+// DistanceValue is Distance returning only the distance value.
+func (nw *Network) DistanceValue(ctx context.Context, a, b State) (float64, error) {
+	res, err := nw.eng.Distance(ctx, a, b)
+	if err != nil {
+		return 0, err
+	}
+	return res.SND, nil
+}
+
+// Pairs computes SND for every requested (A, B) pair, scheduling all
+// 4*len(pairs) terms across the engine's workers. Results align with
+// pairs. Cancelling ctx mid-batch returns ctx.Err().
+func (nw *Network) Pairs(ctx context.Context, pairs []StatePair) ([]Result, error) {
+	return nw.eng.Pairs(ctx, pairs)
+}
+
+// Series computes the SND between every adjacent pair of states:
+// out[i] = SND(states[i], states[i+1]). Fewer than two states fail
+// with ErrShortSeries.
+func (nw *Network) Series(ctx context.Context, states []State) ([]float64, error) {
+	return nw.eng.Series(ctx, states)
+}
+
+// Matrix computes the symmetric all-pairs distance matrix of states,
+// evaluating only i < j and mirroring.
+func (nw *Network) Matrix(ctx context.Context, states []State) ([][]float64, error) {
+	return nw.eng.Matrix(ctx, states)
+}
+
+// Explain computes SND(a, b) and the four terms' transport plans:
+// which users' opinion mass covered which changes and at what cost.
+func (nw *Network) Explain(ctx context.Context, a, b State) (Result, [4]TermPlan, error) {
+	if err := nw.closedErr(); err != nil {
+		return Result{}, [4]TermPlan{}, err
+	}
+	return core.Explain(ctx, nw.g, a, b, nw.opts)
+}
+
+// Measure adapts the handle to the Measure interface for the anomaly,
+// prediction, and search pipelines. The returned measure runs on the
+// handle's engine (batch entry points parallelize) and shares its
+// lifetime: it fails once the handle is closed, and CloseMeasure on it
+// is a no-op — the engine is borrowed, not owned.
+func (nw *Network) Measure() Measure {
+	return predict.SNDMeasure{G: nw.g, Opts: nw.opts, Engine: nw.eng}
+}
+
+// Index builds a metric-space index over states under the handle's SND
+// configuration: nearest-neighbor search, classification, and
+// k-medoids clustering (the paper's Section 9 applications). The index
+// runs its bulk distance work on the handle's engine.
+func (nw *Network) Index(states []State) *StateIndex {
+	return search.NewIndex(states, nw.Measure())
+}
+
+// DetectAnomalies runs the Section 6.2 anomaly pipeline over a state
+// series under the handle's SND: adjacent distances (computed in one
+// parallel batch), active-count normalization, min-max scaling, and
+// spike scores. Rank transitions by Scores descending to flag
+// anomalies. Fewer than two states fail with ErrShortSeries.
+func (nw *Network) DetectAnomalies(ctx context.Context, states []State) (AnomalyReport, error) {
+	dists, err := nw.eng.Series(ctx, states)
+	if err != nil {
+		return AnomalyReport{}, err
+	}
+	return anomalyReport("snd", states, dists)
+}
+
+// --- tracked state ---
+
+// SetState ships a full state into the handle, replacing any tracked
+// state. The state is copied; subsequent updates arrive as deltas via
+// Apply or Step.
+func (nw *Network) SetState(st State) error {
+	if err := nw.closedErr(); err != nil {
+		return err
+	}
+	if err := validateState(nw.g, st); err != nil {
+		return err
+	}
+	nw.mu.Lock()
+	nw.advanceLocked(st.Clone())
+	nw.mu.Unlock()
+	return nil
+}
+
+// Current returns the tracked state (nil before SetState) and its
+// version. The returned slice is a live snapshot: Apply and Step
+// replace rather than mutate it, so it stays valid and immutable after
+// later updates — treat it as read-only.
+func (nw *Network) Current() (State, uint64) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.cur, nw.version
+}
+
+// Apply advances the tracked state by a sparse delta. The previous
+// state object is left intact (snapshots returned by Current remain
+// valid); cache entries of states that scrolled out of the recent
+// window are evicted so the ground-distance cache budget follows the
+// evolving state. Returns the new state snapshot.
+func (nw *Network) Apply(delta StateDelta) (State, error) {
+	if err := nw.closedErr(); err != nil {
+		return nil, err
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	next, err := nw.applyLocked(delta)
+	if err != nil {
+		return nil, err
+	}
+	nw.advanceLocked(next)
+	return next, nil
+}
+
+// Step advances the tracked state by delta and returns
+// SND(previous, current) — the monitoring primitive: feed each tick's
+// changes, get the propagation-aware distance the tick covered.
+// Adjacent Steps share reference states, so their SSSP rows hit the
+// engine's cache. The state advances even when the distance evaluation
+// is cancelled; re-query via Current.
+func (nw *Network) Step(ctx context.Context, delta StateDelta) (Result, error) {
+	if err := nw.closedErr(); err != nil {
+		return Result{}, err
+	}
+	nw.mu.Lock()
+	prev := nw.cur
+	next, err := nw.applyLocked(delta)
+	if err != nil {
+		nw.mu.Unlock()
+		return Result{}, err
+	}
+	nw.advanceLocked(next)
+	nw.mu.Unlock()
+	return nw.eng.Distance(ctx, prev, next)
+}
+
+// applyLocked validates delta against the tracked state and returns
+// the updated copy. Callers hold nw.mu.
+func (nw *Network) applyLocked(delta StateDelta) (State, error) {
+	if nw.cur == nil {
+		return nil, fmt.Errorf("snd: Apply before SetState: no tracked state: %w", ErrStateSize)
+	}
+	for i, ch := range delta {
+		if ch.User < 0 || ch.User >= nw.g.N() {
+			return nil, fmt.Errorf("snd: delta change %d addresses user %d of %d: %w", i, ch.User, nw.g.N(), ErrStateSize)
+		}
+		if !ch.Opinion.Valid() {
+			return nil, fmt.Errorf("snd: delta change %d has opinion %d: %w", i, ch.Opinion, ErrInvalidOpinion)
+		}
+	}
+	next := nw.cur.Clone()
+	for _, ch := range delta {
+		next[ch.User] = ch.Opinion
+	}
+	return next, nil
+}
+
+// advanceLocked installs next as the tracked state and retires the old
+// one into the recent window, evicting the cache entries of whatever
+// scrolls out. The cache is keyed by state *content*, so a scrolled-out
+// state is evicted only when no retained state (including next) has
+// the same content — otherwise quiet ticks (empty or reverting deltas)
+// would evict the live state's own entries. Callers hold nw.mu.
+func (nw *Network) advanceLocked(next State) {
+	if nw.cur != nil {
+		nw.recent = append(nw.recent, nw.cur)
+		if len(nw.recent) > retainRecent {
+			old := nw.recent[0]
+			nw.recent = nw.recent[1:]
+			live := old.DiffCount(next) == 0
+			for _, st := range nw.recent {
+				live = live || old.DiffCount(st) == 0
+			}
+			if !live {
+				nw.eng.EvictRef(old)
+			}
+		}
+	}
+	nw.cur = next
+	nw.version++
+}
+
+// validateState checks a full state's shape against the graph, using
+// the structured errors.
+func validateState(g *Graph, st State) error {
+	if len(st) != g.N() {
+		return fmt.Errorf("snd: state has %d users, graph has %d: %w", len(st), g.N(), ErrStateSize)
+	}
+	for i, o := range st {
+		if !o.Valid() {
+			return fmt.Errorf("snd: user %d has opinion %d: %w", i, o, ErrInvalidOpinion)
+		}
+	}
+	return nil
+}
+
+// anomalyReport finishes the anomaly pipeline from raw adjacent
+// distances.
+func anomalyReport(name string, states []State, dists []float64) (AnomalyReport, error) {
+	actives := make([]int, len(states))
+	for i, st := range states {
+		actives[i] = st.ActiveCount()
+	}
+	norm, err := anomaly.NormalizeSeries(dists, actives)
+	if err != nil {
+		return AnomalyReport{}, err
+	}
+	return AnomalyReport{
+		Name:      name,
+		Distances: norm,
+		Scores:    anomaly.Scores(norm),
+	}, nil
+}
+
+// CloseMeasure releases the resources behind a Measure when it owns
+// any (the engine-backed measure returned by the deprecated SNDMeasure
+// constructor implements io.Closer and owns its engine). Measures
+// returned by Network.Measure borrow their handle's engine, so
+// CloseMeasure on them is a safe no-op — close the handle to release
+// it.
+func CloseMeasure(m Measure) error {
+	if c, ok := m.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

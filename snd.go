@@ -1,6 +1,8 @@
 package snd
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/rand"
 
@@ -101,7 +103,9 @@ const (
 // and shares a ground-distance cache across batch calls. Construct one
 // Engine per graph and reuse it for all Distance/Pairs/Matrix/Series
 // traffic; results are bit-identical to sequential Distance loops for
-// any worker count.
+// any worker count. Batch methods take a context and return ctx.Err()
+// on cancellation; Close releases the cache (most callers hold a
+// Network, which wraps an Engine and manages its lifetime).
 type Engine = core.Engine
 
 // EngineConfig sizes an Engine: worker count (0 = GOMAXPROCS) and
@@ -117,20 +121,31 @@ func NewEngine(g *Graph, opts Options, cfg EngineConfig) *Engine {
 	return core.NewEngine(g, opts, cfg)
 }
 
-// Distance computes SND between two states of g (paper eq. 3). It is a
-// thin one-shot wrapper; batch callers should construct an Engine.
+// Distance computes SND between two states of g (paper eq. 3) on a
+// transient one-shot handle.
+//
+// Deprecated: construct a Network once per graph and use
+// Network.Distance — it reuses the engine's scratch memory and
+// ground-distance cache across calls and accepts a context. This
+// wrapper builds and releases a handle per call.
 func Distance(g *Graph, a, b State, opts Options) (Result, error) {
-	return core.Distance(g, a, b, opts)
+	// A single pair cannot revisit a reference state, so the ground
+	// cache is disabled: it would only heap-copy every SSSP row into a
+	// cache the deferred Close throws away. Values are identical either
+	// way (the cache is a pinned-pure optimization).
+	n := NewNetwork(g, opts, EngineConfig{GroundCacheBytes: -1})
+	defer n.Close()
+	return n.Distance(context.Background(), a, b)
 }
 
 // DistanceValue is Distance with default options, returning only the
 // distance value.
+//
+// Deprecated: use Network.DistanceValue (see Distance).
 func DistanceValue(g *Graph, a, b State) (float64, error) {
-	res, err := core.Distance(g, a, b, core.DefaultOptions())
-	if err != nil {
-		return 0, err
-	}
-	return res.SND, nil
+	n := NewNetwork(g, DefaultOptions(), EngineConfig{GroundCacheBytes: -1})
+	defer n.Close()
+	return n.DistanceValue(context.Background(), a, b)
 }
 
 // DirectDistance computes SND with the un-reduced dense transportation
@@ -148,14 +163,20 @@ type TermPlan = core.TermPlan
 
 // Explain computes SND and returns the four terms' transport plans:
 // which users' opinion mass covered which changes and at what cost.
+//
+// Deprecated: use Network.Explain, which accepts a context.
 func Explain(g *Graph, a, b State, opts Options) (Result, [4]TermPlan, error) {
-	return core.Explain(g, a, b, opts)
+	return core.Explain(context.Background(), g, a, b, opts)
 }
 
 // Series returns the SND between every adjacent pair of states,
-// computed in parallel on a default Engine.
+// computed in parallel on a transient handle.
+//
+// Deprecated: use Network.Series (see Distance).
 func Series(g *Graph, states []State, opts Options) ([]float64, error) {
-	return core.Series(g, states, opts)
+	n := NewNetwork(g, opts, EngineConfig{})
+	defer n.Close()
+	return n.Series(context.Background(), states)
 }
 
 // Measure is a distance between two network states; SND and every
@@ -166,11 +187,15 @@ type Measure interface {
 }
 
 // SNDMeasure adapts SND to the Measure interface. The returned measure
-// is backed by an Engine, so batch consumers (DetectAnomalies, the
+// is backed by its own Engine, so batch consumers (DetectAnomalies, the
 // state index, the distance-based predictor) evaluate distances in
-// parallel with scratch reuse.
+// parallel with scratch reuse. Release it with CloseMeasure when done.
+//
+// Deprecated: use Network.Measure, which shares the handle's engine
+// (one cache per graph instead of one per measure) and is released by
+// Network.Close.
 func SNDMeasure(g *Graph, opts Options) Measure {
-	return predict.SNDMeasure{G: g, Opts: opts, Engine: core.NewEngine(g, opts, core.EngineConfig{})}
+	return predict.SNDMeasure{G: g, Opts: opts, Engine: core.NewEngine(g, opts, core.EngineConfig{}), OwnsEngine: true}
 }
 
 // HammingMeasure counts coordinate-wise opinion disagreements.
@@ -226,22 +251,28 @@ type AnomalyReport struct {
 }
 
 // seriesMeasure is satisfied by measures that can evaluate a whole
-// adjacent-pair series at once (the engine-backed SNDMeasure does,
+// adjacent-pair series at once (the engine-backed SND measure does,
 // scheduling all terms across its worker pool).
 type seriesMeasure interface {
-	Series(states []State) ([]float64, error)
+	Series(ctx context.Context, states []State) ([]float64, error)
 }
 
 // DetectAnomalies runs the anomaly pipeline for measure m over a state
 // series: adjacent distances, active-count normalization, min-max
 // scaling, and spike scores. Rank transitions by Scores descending to
-// flag anomalies. Measures that support batch evaluation (SNDMeasure)
-// compute all transitions in parallel.
+// flag anomalies. Measures that support batch evaluation (the SND
+// measure) compute all transitions in parallel. Fewer than two states
+// fail with ErrShortSeries — there is no transition to score. For the
+// SND pipeline with cancellation, use Network.DetectAnomalies; this
+// free function remains the entry point for the baseline measures.
 func DetectAnomalies(states []State, m Measure) (AnomalyReport, error) {
+	if len(states) < 2 {
+		return AnomalyReport{}, fmt.Errorf("snd: anomaly pipeline over %d states: %w", len(states), ErrShortSeries)
+	}
 	var dists []float64
-	if sm, ok := m.(seriesMeasure); ok && len(states) >= 2 {
+	if sm, ok := m.(seriesMeasure); ok {
 		var err error
-		dists, err = sm.Series(states)
+		dists, err = sm.Series(context.Background(), states)
 		if err != nil {
 			return AnomalyReport{}, err
 		}
@@ -255,19 +286,7 @@ func DetectAnomalies(states []State, m Measure) (AnomalyReport, error) {
 			dists = append(dists, d)
 		}
 	}
-	actives := make([]int, len(states))
-	for i, st := range states {
-		actives[i] = st.ActiveCount()
-	}
-	norm, err := anomaly.NormalizeSeries(dists, actives)
-	if err != nil {
-		return AnomalyReport{}, err
-	}
-	return AnomalyReport{
-		Name:      m.Name(),
-		Distances: norm,
-		Scores:    anomaly.Scores(norm),
-	}, nil
+	return anomalyReport(m.Name(), states, dists)
 }
 
 // ROCPoint is one point of a receiver operating characteristic curve.
@@ -361,8 +380,10 @@ type StateNeighbor = search.Neighbor
 // StateClustering is a k-medoids clustering of indexed states.
 type StateClustering = search.Clustering
 
-// NewStateIndex indexes states under measure m (use SNDMeasure for the
-// paper's metric space).
+// NewStateIndex indexes states under measure m — the entry point for
+// the baseline measures. For the paper's SND metric space, use
+// Network.Index, which runs the index's bulk work on the handle's
+// engine.
 func NewStateIndex(states []State, m Measure) *StateIndex {
 	return search.NewIndex(states, m)
 }
