@@ -89,7 +89,7 @@ var presets = map[string]scale{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, or all")
+	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, or all")
 	preset := flag.String("preset", "small", "size preset: small, medium, paper")
 	seed := flag.Int64("seed", 42, "master random seed")
 	flag.StringVar(&benchJSONPath, "benchjson", "", "write the engine experiment's snapshot to this JSON file")
@@ -110,8 +110,9 @@ func main() {
 		"fig12":    runFig12,
 		"ablation": runAblation,
 		"engine":   runEngine,
+		"delta":    runDelta,
 	}
-	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine"}
+	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = order

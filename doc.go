@@ -74,17 +74,45 @@
 //
 // Apply advances the state without computing a distance; Current
 // returns the tracked snapshot and its version. Updates copy-on-write,
-// so snapshots returned earlier stay valid. Adjacent Steps share
-// reference states and therefore hit the engine's ground-distance
-// cache; states that scroll out of the recent window have their cache
-// entries evicted, keeping the cache budget on reference states that
-// can still recur.
+// so snapshots returned earlier stay valid.
+//
+// # The delta-aware ground-distance provider
+//
+// Every delta routed through Step or Apply also feeds the engine's
+// ground-distance provider, the subsystem that owns the materialized
+// eq. 2 edge costs and the per-source shortest-path trees behind each
+// distance evaluation. A delta invalidates nothing: retained entries
+// are immutable, and the new reference state's data is derived lazily,
+// on first use, from the retained state at the smallest opinion diff —
+// cost arrays are cloned and patched over only the edges incident to
+// the changed users, and shortest-path trees are cloned and repaired
+// Ramalingam-Reps-style over that same dirty edge set. A repair falls
+// back to a full Dijkstra when the delta invalidated too much of a
+// tree (an unsupported region beyond a quarter of the users), and
+// derivation is skipped entirely for diffs wider than n/8 users or
+// for cost models whose penalties aggregate over neighborhoods (ICC,
+// LinearThreshold — only the model-agnostic costs patch locally).
+// Either way the distances are bit-identical to a full SetState
+// recompute (pinned by randomized tests); the delta path is purely a
+// cost decision, making Step scale with |delta| instead of the graph.
+//
+// Retention is provider-owned: reference states reported by a delta
+// ride a fixed window (deep enough for contested users that flip again
+// within a few ticks to find a repairable tree) and are refunded
+// against the EngineConfig.GroundCacheBytes budget as they scroll out,
+// so an endless monitoring stream cannot leak the budget away. On
+// graphs whose per-state footprint is large relative to the budget the
+// window shortens itself rather than starve the newest states. Batch
+// reference states (Pairs/Matrix traffic) are retained first-come
+// until the budget is spent, as before.
 //
 // # Errors
 //
 // Input validation fails with errors wrapping the structured sentinels
 // ErrStateSize, ErrInvalidOpinion, ErrClusterLabels, ErrShortSeries,
-// and ErrEngineClosed; branch with errors.Is.
+// ErrDeltaIndex, and ErrEngineClosed; branch with errors.Is. A
+// malformed StateDelta entry (user index out of range, invalid opinion
+// value) wraps ErrDeltaIndex together with the matching shape sentinel.
 //
 // # What is inside
 //

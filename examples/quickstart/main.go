@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -87,7 +88,13 @@ func main() {
 	}
 
 	// Online monitoring: ship the state once, then advance it by sparse
-	// deltas; Step returns the SND each tick's changes covered.
+	// deltas; Step returns the SND each tick's changes covered. Each
+	// delta also feeds the engine's ground-distance provider, which
+	// serves the next tick by patching edge costs and repairing
+	// shortest-path trees instead of recomputing them — Step cost
+	// scales with the delta, and the distances are bit-identical to a
+	// full recompute (see BENCH_delta.json for the measured speedup at
+	// scale).
 	if err := nw.SetState(before); err != nil {
 		log.Fatal(err)
 	}
@@ -101,4 +108,12 @@ func main() {
 	}
 	fmt.Printf("\nmonitoring by deltas: tick 1 (friendly spread) SND=%.2f, tick 2 (adverse jump) SND=%.2f\n",
 		tick1.SND, tick2.SND)
+
+	// Deltas are validated before they advance anything: a change
+	// addressing a user outside the graph (or an invalid opinion
+	// value) fails with an error wrapping snd.ErrDeltaIndex and leaves
+	// the tracked state untouched.
+	if _, err := nw.Step(ctx, snd.StateDelta{{User: n + 5, Opinion: snd.Positive}}); errors.Is(err, snd.ErrDeltaIndex) {
+		fmt.Println("rejected out-of-range delta:", err)
+	}
 }

@@ -18,10 +18,12 @@ type EngineConfig struct {
 	// Workers is the number of concurrent term evaluations. <= 0
 	// selects runtime.GOMAXPROCS(0).
 	Workers int
-	// GroundCacheBytes budgets the shared ground-distance cache (edge
-	// costs and SSSP rows keyed by reference state and opinion), which
-	// Matrix and Series hit whenever two pairs share a reference state.
-	// 0 selects 128 MiB; negative disables the cache.
+	// GroundCacheBytes budgets the shared ground-distance provider (edge
+	// costs and shortest-path trees keyed by reference state and
+	// opinion), which Matrix and Series hit whenever two pairs share a
+	// reference state and which serves Network.Step's delta traffic by
+	// cost patching and tree repair. 0 selects 128 MiB; negative
+	// disables the provider.
 	GroundCacheBytes int64
 }
 
@@ -66,7 +68,7 @@ type Engine struct {
 	g       *graph.Digraph
 	opts    Options
 	workers int
-	cache   *groundCache
+	prov    *groundProvider
 	pool    sync.Pool // *scratch
 	closed  atomic.Bool
 }
@@ -77,19 +79,19 @@ func NewEngine(g *graph.Digraph, opts Options, cfg EngineConfig) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var gc *groundCache
+	dopts := opts.withDefaults()
+	var prov *groundProvider
 	if cfg.GroundCacheBytes >= 0 {
 		budget := cfg.GroundCacheBytes
 		if budget == 0 {
 			budget = defaultGroundCacheBytes
 		}
-		gc = newGroundCache(budget)
+		prov = newGroundProvider(g, dopts.Costs, dopts.Heap, budget)
 	}
-	// Build the transpose once: workers share it read-only (the lazy
-	// build inside graph.Digraph is not safe under concurrent first
-	// use). Only the bipartite pipeline reads it, so strategies that
-	// can never reach that path skip the O(N+M) duplicate.
-	dopts := opts.withDefaults()
+	// Build the transpose up front for the strategies that read it, so
+	// the first batch doesn't pay the O(N+M) build inside a worker
+	// (concurrent first use is safe — Reverse is sync.Once-guarded —
+	// but serializes the pool behind one builder).
 	if dopts.Engine == EngineAuto || dopts.Engine == EngineBipartite {
 		g.Reverse()
 	}
@@ -97,7 +99,7 @@ func NewEngine(g *graph.Digraph, opts Options, cfg EngineConfig) *Engine {
 		g:       g,
 		opts:    dopts,
 		workers: workers,
-		cache:   gc,
+		prov:    prov,
 	}
 }
 
@@ -110,8 +112,8 @@ func (e *Engine) Workers() int { return e.workers }
 // always returns nil (it satisfies io.Closer).
 func (e *Engine) Close() error {
 	e.closed.Store(true)
-	if e.cache != nil {
-		e.cache.clear()
+	if e.prov != nil {
+		e.prov.clear()
 	}
 	return nil
 }
@@ -128,16 +130,30 @@ func (e *Engine) closedErr() error {
 	return nil
 }
 
-// EvictRef drops every ground-distance cache entry keyed by reference
-// state st (its eq. 2 edge costs and SSSP rows), refunding the cache
-// budget for newer reference states. Incremental-state callers
-// (snd.Network.Apply) evict states that have scrolled out of their
-// recent-history window, so a long-running evolving-state workload
-// keeps its budget on reference states that can still recur instead of
-// exhausting it on the first states ever seen.
+// EvictRef drops the ground-distance provider's entry for reference
+// state st (its eq. 2 edge costs and shortest-path trees), refunding
+// the provider budget for newer reference states. Tracked-state
+// workloads no longer need to call this — the provider retires tracked
+// states itself as AdvanceRef pushes its retention window — but it
+// remains for callers managing arbitrary batch reference states.
 func (e *Engine) EvictRef(st opinion.State) {
-	if e.cache != nil {
-		e.cache.evictRef(hashState(st))
+	if e.prov != nil {
+		e.prov.evictRef(hashState(st))
+	}
+}
+
+// AdvanceRef tells the ground-distance provider that reference state
+// next derives from prev by changing the opinions of the listed users.
+// Incremental-state callers (snd.Network.Step/Apply) report every delta
+// through this; the provider then serves next's edge costs by patching
+// prev's over the dirty edges and next's shortest-path trees by
+// Ramalingam-Reps repair of prev's, making delta-step cost scale with
+// |changed| instead of the graph. Results are bit-identical to full
+// recomputation. The call itself does no work beyond bookkeeping;
+// derivations happen lazily on first use.
+func (e *Engine) AdvanceRef(prev, next opinion.State, changed []int32) {
+	if e.prov != nil {
+		e.prov.advance(prev, next, changed)
 	}
 }
 
@@ -265,10 +281,10 @@ type termOut struct {
 // loops of each term), so a cancelled batch stops claiming work and
 // runTerms returns ctx.Err().
 func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, error) {
-	// Reference-state hashes key the ground cache; terms 0-1 of a pair
-	// use A's ground distance, terms 2-3 use B's.
+	// Reference-state hashes key the ground provider; terms 0-1 of a
+	// pair use A's ground distance, terms 2-3 use B's.
 	hashes := make([][2]hashKey, len(pairs))
-	if e.cache != nil {
+	if e.prov != nil {
 		for i := range pairs {
 			hashes[i][0] = hashState(pairs[i].A)
 			hashes[i][1] = hashState(pairs[i].B)
@@ -299,8 +315,8 @@ func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, er
 				}
 				pi, term := t/4, t%4
 				spec := eqSpec(pairs[pi].A, pairs[pi].B, term)
-				tc := termCtx{ctx: ctx, sc: sc, gc: e.cache}
-				if e.cache != nil {
+				tc := termCtx{ctx: ctx, sc: sc, prov: e.prov}
+				if e.prov != nil {
 					tc.refHash = hashes[pi][term/2]
 				}
 				v, runs, used, err := computeTerm(e.g, spec, e.opts, tc)
@@ -400,11 +416,13 @@ func (sc *scratch) takeRow(n int) []int64 {
 	return sc.rowBuf[off : off+n : off+n]
 }
 
-// --- ground-distance cache ---
+// --- reference-state fingerprints ---
 
 // hashKey is a 128-bit state fingerprint (two independent 64-bit
 // hashes), which makes silent collisions across reference states
-// negligible without retaining the states themselves.
+// negligible without retaining the states themselves. The ground
+// provider keys its entries — and the delta lineage between them — by
+// these.
 type hashKey [2]uint64
 
 func hashState(st opinion.State) hashKey {
@@ -419,112 +437,4 @@ func hashState(st opinion.State) hashKey {
 		h2 += uint64(uint8(o)) + 0x9e3779b97f4a7c15 + (h2 << 6) + (h2 >> 2)
 	}
 	return hashKey{h1, h2}
-}
-
-type weightKey struct {
-	ref      hashKey
-	op       opinion.Opinion
-	reversed bool
-}
-
-type rowKey struct {
-	ref      hashKey
-	op       opinion.Opinion
-	reversed bool
-	src      int32
-}
-
-// groundCache shares SSSP rows and per-edge ground costs across the
-// terms of a batch. Entries are immutable after insertion; once the
-// byte budget is spent, further inserts are dropped (batch workloads
-// revisit early reference states, so first-come retention suffices).
-type groundCache struct {
-	mu      sync.RWMutex
-	budget  int64
-	weights map[weightKey][]int32
-	rows    map[rowKey][]int64
-}
-
-func newGroundCache(budget int64) *groundCache {
-	return &groundCache{
-		budget:  budget,
-		weights: make(map[weightKey][]int32),
-		rows:    make(map[rowKey][]int64),
-	}
-}
-
-func (c *groundCache) getWeights(k weightKey) ([]int32, bool) {
-	c.mu.RLock()
-	w, ok := c.weights[k]
-	c.mu.RUnlock()
-	return w, ok
-}
-
-func (c *groundCache) putWeights(k weightKey, w []int32) {
-	cost := int64(len(w)) * 4
-	c.mu.Lock()
-	if _, dup := c.weights[k]; !dup && c.budget >= cost {
-		c.budget -= cost
-		c.weights[k] = w
-	}
-	c.mu.Unlock()
-}
-
-// hasBudget reports whether an insert of the given byte cost would
-// currently fit. It is advisory (the budget can drain between check
-// and put); callers use it to pick arena storage over a doomed heap
-// allocation once the cache fills.
-func (c *groundCache) hasBudget(cost int64) bool {
-	c.mu.RLock()
-	ok := c.budget >= cost
-	c.mu.RUnlock()
-	return ok
-}
-
-func (c *groundCache) getRow(k rowKey) ([]int64, bool) {
-	c.mu.RLock()
-	r, ok := c.rows[k]
-	c.mu.RUnlock()
-	return r, ok
-}
-
-func (c *groundCache) putRow(k rowKey, row []int64) {
-	cost := int64(len(row)) * 8
-	c.mu.Lock()
-	if _, dup := c.rows[k]; !dup && c.budget >= cost {
-		c.budget -= cost
-		c.rows[k] = row
-	}
-	c.mu.Unlock()
-}
-
-// evictRef deletes every entry keyed by reference-state hash ref and
-// refunds the freed bytes to the budget. It walks both maps — eviction
-// happens once per tracked-state advance, not on the per-term hot path.
-func (c *groundCache) evictRef(ref hashKey) {
-	c.mu.Lock()
-	for k, w := range c.weights {
-		if k.ref == ref {
-			c.budget += int64(len(w)) * 4
-			delete(c.weights, k)
-		}
-	}
-	for k, r := range c.rows {
-		if k.ref == ref {
-			c.budget += int64(len(r)) * 8
-			delete(c.rows, k)
-		}
-	}
-	c.mu.Unlock()
-}
-
-// clear empties the cache and zeroes its budget so no future insert is
-// retained; in-flight readers holding previously fetched slices are
-// unaffected (entries are immutable).
-func (c *groundCache) clear() {
-	c.mu.Lock()
-	c.weights = make(map[weightKey][]int32)
-	c.rows = make(map[rowKey][]int64)
-	c.budget = 0
-	c.mu.Unlock()
 }

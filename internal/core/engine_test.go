@@ -358,34 +358,42 @@ func TestEngineClose(t *testing.T) {
 	}
 }
 
-// TestGroundCacheEvictRef checks eviction refunds the budget and only
-// touches the requested reference state.
-func TestGroundCacheEvictRef(t *testing.T) {
-	gc := newGroundCache(1 << 20)
-	budget0 := gc.budget
-	refA := hashKey{1, 2}
-	refB := hashKey{3, 4}
-	gc.putWeights(weightKey{ref: refA, op: opinion.Positive}, make([]int32, 100))
-	gc.putRow(rowKey{ref: refA, op: opinion.Positive, src: 0}, make([]int64, 50))
-	gc.putRow(rowKey{ref: refA, op: opinion.Positive, src: 1}, make([]int64, 50))
-	gc.putWeights(weightKey{ref: refB, op: opinion.Negative}, make([]int32, 10))
-	gc.putRow(rowKey{ref: refB, op: opinion.Negative, src: 2}, make([]int64, 5))
-	spentB := int64(10*4 + 5*8)
-	gc.evictRef(refA)
-	if gc.budget != budget0-spentB {
-		t.Errorf("budget after evict = %d, want %d (refund of A's bytes only)", gc.budget, budget0-spentB)
+// TestGroundProviderEvictRef checks eviction refunds exactly the
+// evicted reference state's bytes and only drops that state's entry.
+func TestGroundProviderEvictRef(t *testing.T) {
+	g := engineTestGraph(80, 11)
+	opts := DefaultOptions().withDefaults()
+	p := newGroundProvider(g, opts.Costs, opts.Heap, 1<<20)
+	budget0 := p.budget
+	states := engineTestStates(g.N(), 2, 10, 12)
+	hA, hB := hashState(states[0]), hashState(states[1])
+	p.weights(hA, states[0], opinion.Positive, false)
+	p.row(hA, states[0], opinion.Positive, false, 0, p.weights(hA, states[0], opinion.Positive, false))
+	p.row(hA, states[0], opinion.Positive, false, 1, p.weights(hA, states[0], opinion.Positive, false))
+	p.weights(hB, states[1], opinion.Negative, false)
+	p.row(hB, states[1], opinion.Negative, false, 2, p.weights(hB, states[1], opinion.Negative, false))
+	// B retains one forward cost array, one tree, and its state
+	// snapshot (the diff base for derivations).
+	spentB := int64(g.M()*4 + g.N()*12 + g.N())
+	p.evictRef(hA)
+	if p.budget != budget0-spentB {
+		t.Errorf("budget after evict = %d, want %d (refund of A's bytes only)", p.budget, budget0-spentB)
 	}
-	if _, ok := gc.getWeights(weightKey{ref: refA, op: opinion.Positive}); ok {
-		t.Error("evicted weights still present")
+	p.mu.RLock()
+	if _, ok := p.refs[hA]; ok {
+		t.Error("evicted entry still present")
 	}
-	if _, ok := gc.getRow(rowKey{ref: refA, op: opinion.Positive, src: 0}); ok {
-		t.Error("evicted row still present")
-	}
-	if _, ok := gc.getWeights(weightKey{ref: refB, op: opinion.Negative}); !ok {
+	entB := p.refs[hB]
+	p.mu.RUnlock()
+	if entB == nil || entB.side[opIdx(opinion.Negative)].fwdW == nil {
 		t.Error("unrelated ref's weights were evicted")
 	}
-	if _, ok := gc.getRow(rowKey{ref: refB, op: opinion.Negative, src: 2}); !ok {
-		t.Error("unrelated ref's row was evicted")
+	if entB.side[opIdx(opinion.Negative)].trees[treeKey{src: 2}] == nil {
+		t.Error("unrelated ref's tree was evicted")
+	}
+	p.evictRef(hB)
+	if p.budget != budget0 {
+		t.Errorf("budget after evicting everything = %d, want full refund %d", p.budget, budget0)
 	}
 }
 

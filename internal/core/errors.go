@@ -31,4 +31,12 @@ var (
 	// ErrEngineClosed reports a call on an Engine (or a handle wrapping
 	// one) after Close.
 	ErrEngineClosed = errors.New("engine is closed")
+
+	// ErrDeltaIndex reports an invalid entry in a sparse state delta:
+	// a change addressing a user outside [0, n), or carrying an opinion
+	// value outside {Negative, Neutral, Positive}. Delta validation
+	// failures wrap both ErrDeltaIndex and the matching shape sentinel
+	// (ErrStateSize or ErrInvalidOpinion), so existing errors.Is
+	// branches keep working.
+	ErrDeltaIndex = errors.New("invalid state delta entry")
 )

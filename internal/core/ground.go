@@ -1,0 +1,626 @@
+package core
+
+import (
+	"sync"
+
+	"snd/internal/graph"
+	"snd/internal/opinion"
+	"snd/internal/pqueue"
+	"snd/internal/sssp"
+)
+
+// groundProvider is the ground-distance subsystem of the engine. It
+// owns, per reference state and opinion: the materialized eq. 2 edge
+// costs (in forward and, lazily, reverse CSR order) and the per-source
+// shortest-path trees the Theorem 4 pipeline runs over. Terms consult
+// it instead of materializing costs and running every SSSP from
+// scratch; when a requested reference state is within a small opinion
+// diff of a retained one, the provider derives its data incrementally —
+// cost arrays are cloned and patched over the edges incident to the
+// differing users (opinion.GroundCosts.PatchEdgeCosts), and trees are
+// cloned and repaired over that same dirty edge set (sssp.RepairInto) —
+// so tracked-state traffic costs O(|delta|) where cold traffic costs
+// O(N + M) per term. Results are bit-identical either way; the
+// derivation is purely a cost decision.
+//
+// # Retention
+//
+// Entries are keyed by state content (the engine's 128-bit state
+// fingerprint), so identical states share entries no matter how they
+// were produced, and each entry retains a snapshot of its state — the
+// diff base for derivations. Tracked reference states — those reported
+// through Engine.AdvanceRef by delta-routing callers (snd.Network.Step
+// and Apply) — ride a fixed-size window: when an advance pushes the
+// window past providerWindow states, the oldest tracked entry is
+// dropped and its bytes refunded, which keeps a long-running
+// monitoring workload's budget on reference states that can still
+// recur or serve as repair donors. Untracked entries (batch
+// Pairs/Matrix traffic) are retained first-come until the byte budget
+// is spent, exactly like the flat cache this subsystem replaces. Close
+// empties the provider and zeroes the budget so nothing further is
+// retained.
+//
+// # What a delta invalidates
+//
+// Nothing, directly: entries are immutable once published (in-flight
+// readers are safe), and a delta never mutates retained data. A new
+// reference state simply becomes a new entry whose costs and trees are
+// derived, lazily on first use, from a retained window entry holding
+// the wanted data — tried newest first, falling through to older
+// entries when a newer one's diff exceeds the derivation cap (up to
+// maxDonorCandidates attempts). Tree repair falls back to a full
+// Dijkstra when the diff invalidated too much of the tree
+// (unsupported region beyond n/4 vertices); a diff wider than
+// deriveDiffCap users skips that donor entirely. Both cost patching
+// and tree repair require the cost model to be local
+// (opinion.LocalPenaltyModel); aggregate models (ICC, LinearThreshold)
+// rematerialize and recompute, keeping only same-state reuse.
+type groundProvider struct {
+	g       *graph.Digraph
+	costs   opinion.GroundCosts
+	heap    pqueue.Kind
+	maxCost int64
+	// local: the cost model supports O(delta)-edge patching, which also
+	// gates tree repair (non-local models move costs beyond the edges
+	// incident to changed users).
+	local bool
+
+	repairPool sync.Pool // *sssp.RepairScratch
+	parentPool sync.Pool // *[]int32 Dijkstra parent scratch (non-local models)
+
+	mu        sync.RWMutex
+	budget    int64
+	budgetCap int64 // the initial budget, for retention pressure checks
+	refs      map[hashKey]*groundRef
+	window    []hashKey // tracked reference states, oldest first
+
+	// diffMu guards a small memo of (donor, target) state diffs and
+	// their incident dirty-edge sets: within one batch the same donor
+	// serves every repaired tree of a reference state, so the diff and
+	// its edge expansion are computed once, not once per source.
+	diffMu   sync.Mutex
+	diffMemo map[diffKey]*diffEntry
+}
+
+type diffKey struct {
+	donor, target hashKey
+}
+
+// diffEntry is one memoized state diff; the edge expansions fill in
+// lazily per direction.
+type diffEntry struct {
+	users  []int32
+	failed bool         // diff exceeded the derivation cap
+	once   [2]sync.Once // fwd, rev
+	edges  [2][]int32
+	tails  [2][]int32
+}
+
+// providerWindow is how many tracked reference states the provider
+// retains. Each Step advance enrolls two states (previous and next),
+// so the window spans about providerWindow/2 ticks of history; the
+// slack lets contested users that flip again within that horizon find
+// a repairable donor tree instead of paying a cold Dijkstra.
+const providerWindow = 64
+
+// groundRef is the provider's record of one reference state.
+type groundRef struct {
+	state   opinion.State // snapshot: the diff base for derivations
+	tracked bool          // in the window (reported via AdvanceRef)
+	bytes   int64         // retained bytes, refunded on eviction
+	side    [2]refSide
+}
+
+// refSide is one opinion's share of a groundRef.
+type refSide struct {
+	fwdW  []int32
+	revW  []int32
+	trees map[treeKey]*spTree
+}
+
+type treeKey struct {
+	reversed bool
+	src      int32
+}
+
+// spTree is one cached single-source shortest-path tree. dist and
+// parent are immutable once published; repair happens on clones.
+type spTree struct {
+	dist   []int64
+	parent []int32
+}
+
+func opIdx(op opinion.Opinion) int {
+	if op == opinion.Negative {
+		return 1
+	}
+	return 0
+}
+
+func newGroundProvider(g *graph.Digraph, costs opinion.GroundCosts, heap pqueue.Kind, budget int64) *groundProvider {
+	_, local := costs.Model.(opinion.LocalPenaltyModel)
+	return &groundProvider{
+		g:         g,
+		costs:     costs,
+		heap:      heap,
+		maxCost:   costs.MaxCost(),
+		local:     local,
+		budget:    budget,
+		budgetCap: budget,
+		refs:      make(map[hashKey]*groundRef),
+	}
+}
+
+// deriveDiffCap bounds how wide an opinion diff a derivation chases:
+// past it, patching the incident edges stops being meaningfully
+// cheaper than rematerializing, and tree repair would fall back
+// anyway.
+func (p *groundProvider) deriveDiffCap() int {
+	cap := p.g.N() / 8
+	if cap < 16 {
+		cap = 16
+	}
+	return cap
+}
+
+// diffUsers returns the users at which a and b differ, or ok=false
+// once the diff exceeds limit (the derivation is then not worth it).
+func diffUsers(a, b opinion.State, limit int) (changed []int32, ok bool) {
+	for u := range a {
+		if a[u] != b[u] {
+			if len(changed) >= limit {
+				return nil, false
+			}
+			changed = append(changed, int32(u))
+		}
+	}
+	return changed, true
+}
+
+// advance enrolls reference states prev and next — which differ by the
+// given changed users — in the tracked window, evicting whatever the
+// window pushes out. It does no other work: costs and trees of next
+// derive lazily on first use, by diffing against retained entries.
+func (p *groundProvider) advance(prev, next opinion.State, changed []int32) {
+	if len(changed) == 0 {
+		return
+	}
+	hp, hn := hashState(prev), hashState(next)
+	if hp == hn {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trackLocked(hp, prev)
+	p.trackLocked(hn, next)
+	for len(p.window) > providerWindow {
+		old := p.window[0]
+		p.window = p.window[1:]
+		p.evictLocked(old)
+	}
+	// Retention pressure: on graphs whose per-state footprint is large
+	// relative to the budget, a full-depth window would starve the
+	// current states of tree storage, degrading every row to a cold
+	// Dijkstra. Retire history early instead — the newest states are
+	// the useful repair donors.
+	for len(p.window) > 4 && p.budget < p.budgetCap/8 {
+		old := p.window[0]
+		p.window = p.window[1:]
+		p.evictLocked(old)
+	}
+}
+
+// trackLocked enrolls h in the window (creating an entry, with its
+// state snapshot, if needed); a state already in the window keeps its
+// position.
+func (p *groundProvider) trackLocked(h hashKey, st opinion.State) {
+	ent := p.entryLocked(h, st)
+	if ent.tracked {
+		return
+	}
+	ent.tracked = true
+	p.window = append(p.window, h)
+}
+
+// entryLocked returns the entry for h, creating it (with a snapshot of
+// st, charged to the budget) if absent.
+func (p *groundProvider) entryLocked(h hashKey, st opinion.State) *groundRef {
+	ent := p.refs[h]
+	if ent == nil {
+		ent = &groundRef{}
+		p.refs[h] = ent
+	}
+	if ent.state == nil && st != nil {
+		if cost := int64(len(st)); p.budget >= cost {
+			ent.state = st.Clone()
+			ent.bytes += cost
+			p.budget -= cost
+		}
+	}
+	return ent
+}
+
+func (p *groundProvider) evictLocked(h hashKey) {
+	if ent := p.refs[h]; ent != nil {
+		p.budget += ent.bytes
+		delete(p.refs, h)
+	}
+}
+
+// evictRef drops the entry of the given reference state and refunds
+// its bytes.
+func (p *groundProvider) evictRef(h hashKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, wh := range p.window {
+		if wh == h {
+			p.window = append(p.window[:i], p.window[i+1:]...)
+			break
+		}
+	}
+	p.evictLocked(h)
+}
+
+// clear empties the provider and zeroes the budget so no future insert
+// is retained; in-flight readers holding previously fetched slices are
+// unaffected (entries are immutable).
+func (p *groundProvider) clear() {
+	p.mu.Lock()
+	p.refs = make(map[hashKey]*groundRef)
+	p.window = nil
+	p.budget = 0
+	p.mu.Unlock()
+}
+
+func (p *groundProvider) hasBudget(cost int64) bool {
+	p.mu.RLock()
+	ok := p.budget >= cost
+	p.mu.RUnlock()
+	return ok
+}
+
+// donor describes a retained entry a derivation can diff against.
+type donor struct {
+	hash  hashKey
+	state opinion.State
+	fwdW  []int32
+	revW  []int32
+	tree  *spTree
+}
+
+// diffFor returns the memoized user diff between the donor and target
+// states; ok is false when it exceeds the derivation cap.
+func (p *groundProvider) diffFor(donorHash, targetHash hashKey, donorState, targetState opinion.State) (*diffEntry, bool) {
+	k := diffKey{donor: donorHash, target: targetHash}
+	p.diffMu.Lock()
+	if p.diffMemo == nil {
+		p.diffMemo = make(map[diffKey]*diffEntry)
+	}
+	ent := p.diffMemo[k]
+	if ent == nil {
+		users, ok := diffUsers(donorState, targetState, p.deriveDiffCap())
+		ent = &diffEntry{users: users, failed: !ok}
+		if len(p.diffMemo) >= 128 {
+			// The memo only accelerates the current working set; a
+			// fresh map keeps it from outliving the window.
+			p.diffMemo = make(map[diffKey]*diffEntry)
+		}
+		p.diffMemo[k] = ent
+	}
+	p.diffMu.Unlock()
+	if ent.failed {
+		return nil, false
+	}
+	return ent, true
+}
+
+// dirtyFor returns the memoized dirty edge set (and aligned tails)
+// between a donor and a target state for the given direction; ok is
+// false when the state diff exceeds the derivation cap.
+func (p *groundProvider) dirtyFor(donorHash, targetHash hashKey, donorState, targetState opinion.State, reversed bool) (edges, tails []int32, ok bool) {
+	ent, ok := p.diffFor(donorHash, targetHash, donorState, targetState)
+	if !ok {
+		return nil, nil, false
+	}
+	di := 0
+	if reversed {
+		di = 1
+	}
+	ent.once[di].Do(func() {
+		ent.edges[di], ent.tails[di] = p.incidentEdges(ent.users, reversed)
+	})
+	return ent.edges[di], ent.tails[di], true
+}
+
+// maxDonorCandidates bounds how many window entries a derivation tries
+// before giving up: newest first, falling through to older ones when a
+// newer donor's diff exceeds the derivation cap (e.g. the tracked
+// state jumped wide and then resumed small deltas).
+const maxDonorCandidates = 4
+
+// findDonorsLocked scans the tracked window, newest first, for entries
+// whose state snapshot is present and which have the wanted datum,
+// returning up to maxDonorCandidates of them. want inspects one entry
+// and returns the donor payload, or false. Callers hold p.mu (read).
+func (p *groundProvider) findDonorsLocked(skip hashKey, want func(*groundRef) (donor, bool)) []donor {
+	var out []donor
+	for i := len(p.window) - 1; i >= 0 && len(out) < maxDonorCandidates; i-- {
+		h := p.window[i]
+		if h == skip {
+			continue
+		}
+		ent := p.refs[h]
+		if ent == nil || ent.state == nil {
+			continue
+		}
+		if d, ok := want(ent); ok {
+			d.hash, d.state = h, ent.state
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// weights returns the eq. 2 edge costs of (ref, op) in forward or
+// reverse CSR order, deriving them by (in preference order) cache hit,
+// clone-and-patch against the closest retained state, or fresh
+// materialization. st must be the state that ref fingerprints.
+func (p *groundProvider) weights(ref hashKey, st opinion.State, op opinion.Opinion, reversed bool) []int32 {
+	oi := opIdx(op)
+	p.mu.RLock()
+	ent := p.refs[ref]
+	var w []int32
+	if ent != nil {
+		if reversed {
+			w = ent.side[oi].revW
+		} else {
+			w = ent.side[oi].fwdW
+		}
+	}
+	p.mu.RUnlock()
+	if w != nil {
+		return w
+	}
+	if reversed {
+		return p.deriveReverse(ref, st, op)
+	}
+	w = p.deriveForward(ref, st, op)
+	if w == nil {
+		w = p.costs.EdgeCosts(p.g, st, op)
+	}
+	return p.putWeights(ref, st, oi, false, w)
+}
+
+// deriveForward patches a clone of a retained entry's forward costs
+// over the diff to st; nil when no donor is close enough (or the model
+// is not local).
+func (p *groundProvider) deriveForward(ref hashKey, st opinion.State, op opinion.Opinion) []int32 {
+	if !p.local {
+		return nil
+	}
+	oi := opIdx(op)
+	p.mu.RLock()
+	donors := p.findDonorsLocked(ref, func(ent *groundRef) (donor, bool) {
+		if fw := ent.side[oi].fwdW; fw != nil {
+			return donor{fwdW: fw}, true
+		}
+		return donor{}, false
+	})
+	p.mu.RUnlock()
+	for _, d := range donors {
+		de, ok := p.diffFor(d.hash, ref, d.state, st)
+		if !ok {
+			continue // too wide a diff: try an older donor
+		}
+		w := make([]int32, len(d.fwdW))
+		copy(w, d.fwdW)
+		if _, ok := p.costs.PatchEdgeCosts(p.g, st, de.users, op, w, nil); !ok {
+			return nil
+		}
+		return w
+	}
+	return nil
+}
+
+// deriveReverse produces the reverse-CSR cost array: by patching the
+// diff's incident edges onto a clone of a donor's reverse array when
+// one is retained, else by permuting the forward array.
+func (p *groundProvider) deriveReverse(ref hashKey, st opinion.State, op opinion.Opinion) []int32 {
+	oi := opIdx(op)
+	fw := p.weights(ref, st, op, false)
+	var rw []int32
+	if p.local {
+		p.mu.RLock()
+		donors := p.findDonorsLocked(ref, func(ent *groundRef) (donor, bool) {
+			if arw := ent.side[oi].revW; arw != nil {
+				return donor{revW: arw}, true
+			}
+			return donor{}, false
+		})
+		p.mu.RUnlock()
+		for _, d := range donors {
+			if edges, _, ok := p.dirtyFor(d.hash, ref, d.state, st, false); ok {
+				rw = make([]int32, len(d.revW))
+				copy(rw, d.revW)
+				for _, e := range edges {
+					rw[p.g.ReverseEdge(int(e))] = fw[e]
+				}
+				break
+			}
+		}
+	}
+	if rw == nil {
+		rw = graph.PermuteToReverse(p.g, fw)
+	}
+	return p.putWeights(ref, st, oi, true, rw)
+}
+
+// putWeights publishes a cost array (first writer wins) and returns
+// the published slice.
+func (p *groundProvider) putWeights(ref hashKey, st opinion.State, oi int, reversed bool, w []int32) []int32 {
+	cost := int64(len(w)) * 4
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ent := p.entryLocked(ref, st)
+	s := &ent.side[oi]
+	if reversed {
+		if s.revW != nil {
+			return s.revW // racing derivation: keep the published one
+		}
+	} else if s.fwdW != nil {
+		return s.fwdW
+	}
+	if p.budget < cost {
+		return w // usable, just not retained
+	}
+	p.budget -= cost
+	ent.bytes += cost
+	if reversed {
+		s.revW = w
+	} else {
+		s.fwdW = w
+	}
+	return w
+}
+
+// row returns the shortest-path distance row from src under (ref, op)
+// in the given direction, serving it by cache hit, by repairing a
+// clone of the closest retained tree over the diff's dirty edges, or
+// by a fresh Dijkstra — retaining the tree when the budget allows. The
+// parent array (the seed of future repairs) is retained only under a
+// local cost model; non-local models can never repair, so for them the
+// retained tree is a dist-only row at the replaced flat cache's byte
+// cost. ok is false when the budget is spent; the caller computes into
+// its own scratch instead.
+func (p *groundProvider) row(ref hashKey, st opinion.State, op opinion.Opinion, reversed bool, src int32, w []int32) ([]int64, bool) {
+	oi := opIdx(op)
+	tk := treeKey{reversed: reversed, src: src}
+	var donors []donor
+	p.mu.RLock()
+	ent := p.refs[ref]
+	if ent != nil {
+		if tr := ent.side[oi].trees[tk]; tr != nil {
+			p.mu.RUnlock()
+			return tr.dist, true
+		}
+	}
+	if p.local {
+		donors = p.findDonorsLocked(ref, func(e2 *groundRef) (donor, bool) {
+			if tr := e2.side[oi].trees[tk]; tr != nil {
+				return donor{tree: tr}, true
+			}
+			return donor{}, false
+		})
+	}
+	p.mu.RUnlock()
+
+	n := p.g.N()
+	cost := int64(n) * 8 // dist row
+	if p.local {
+		cost = int64(n) * 12 // plus the parent array repairs seed from
+	}
+	if !p.hasBudget(cost) {
+		return nil, false
+	}
+	srcGraph := p.g
+	if reversed {
+		srcGraph = p.g.Reverse()
+	}
+	tr := &spTree{dist: make([]int64, n)}
+	var scratchParent []int32
+	if p.local {
+		tr.parent = make([]int32, n)
+	} else {
+		// Non-local models never repair, so the parent tree is compute
+		// scratch, not retained state: borrow a pooled buffer.
+		if sp, _ := p.parentPool.Get().(*[]int32); sp != nil && len(*sp) >= n {
+			scratchParent = (*sp)[:n]
+		} else {
+			scratchParent = make([]int32, n)
+		}
+	}
+	res := sssp.Result{Dist: tr.dist, Parent: tr.parent}
+	if !p.local {
+		res.Parent = scratchParent
+	}
+	repaired := false
+	for _, d := range donors {
+		dirty, dirtyTails, ok := p.dirtyFor(d.hash, ref, d.state, st, reversed)
+		if !ok {
+			continue // too wide a diff: try an older donor
+		}
+		copy(tr.dist, d.tree.dist)
+		copy(tr.parent, d.tree.parent)
+		rs, _ := p.repairPool.Get().(*sssp.RepairScratch)
+		if rs == nil {
+			rs = &sssp.RepairScratch{}
+		}
+		sssp.RepairInto(srcGraph, w, int(src), p.heap, p.maxCost, &res, dirty, dirtyTails, n/4+16, rs)
+		p.repairPool.Put(rs)
+		repaired = true
+		break
+	}
+	if !repaired {
+		sssp.DijkstraInto(srcGraph, w, int(src), p.heap, p.maxCost, &res)
+	}
+	tr.dist = res.Dist
+	if p.local {
+		tr.parent = res.Parent
+	} else {
+		p.parentPool.Put(&res.Parent)
+	}
+	return p.putTree(ref, st, oi, tk, tr, cost), true
+}
+
+// putTree publishes a tree (first writer wins) and returns the
+// published row.
+func (p *groundProvider) putTree(ref hashKey, st opinion.State, oi int, tk treeKey, tr *spTree, cost int64) []int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ent := p.entryLocked(ref, st)
+	s := &ent.side[oi]
+	if s.trees == nil {
+		s.trees = make(map[treeKey]*spTree)
+	}
+	if dup := s.trees[tk]; dup != nil {
+		return dup.dist
+	}
+	if p.budget >= cost {
+		p.budget -= cost
+		ent.bytes += cost
+		s.trees[tk] = tr
+	}
+	return tr.dist
+}
+
+// incidentEdges returns the CSR indices (in the forward or reverse
+// graph, matching the direction of the array they dirty) of every edge
+// incident to the given users — the dirty superset a repair over a
+// |delta|-user change must re-relax — along with each edge's tail, so
+// the repair avoids per-edge tail searches.
+func (p *groundProvider) incidentEdges(users []int32, reversed bool) (edges, tails []int32) {
+	g := p.g
+	if reversed {
+		g = p.g.Reverse()
+	}
+	set := make(map[int32]bool, len(users))
+	for _, u := range users {
+		set[u] = true
+	}
+	for u := range set {
+		lo, hi := g.EdgeRange(int(u))
+		for e := lo; e < hi; e++ {
+			edges = append(edges, int32(e))
+			tails = append(tails, u)
+		}
+		inTails, inEdges := g.InEdges(int(u))
+		for j, t := range inTails {
+			if set[t] {
+				continue // covered by t's own out-edge range
+			}
+			edges = append(edges, inEdges[j])
+			tails = append(tails, t)
+		}
+	}
+	return edges, tails
+}

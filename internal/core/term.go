@@ -130,17 +130,17 @@ func infCost(n int, maxEdgeCost int64, escapeHops int) int64 {
 }
 
 // termCtx threads an engine worker's scratch arena, the engine's shared
-// ground-distance cache, and the request context into a term
-// computation. The zero value (no reuse, no cache, no cancellation)
+// ground-distance provider, and the request context into a term
+// computation. The zero value (no reuse, no provider, no cancellation)
 // reproduces the standalone sequential behavior.
 type termCtx struct {
 	// ctx, when non-nil, is checked between SSSP runs and handed to the
 	// flow solvers so a cancelled request stops mid-term. It never
 	// changes the numeric result of an uncancelled computation.
-	ctx context.Context
-	sc  *scratch
-	gc  *groundCache
-	// refHash fingerprints spec.ref; only meaningful when gc != nil.
+	ctx  context.Context
+	sc   *scratch
+	prov *groundProvider
+	// refHash fingerprints spec.ref; only meaningful when prov != nil.
 	refHash hashKey
 }
 
@@ -153,27 +153,18 @@ func (tc termCtx) cancelled() error {
 }
 
 // groundWeights returns the eq. 2 edge costs of spec's ground distance
-// in forward or reverse CSR order, consulting the cache when present.
+// in forward or reverse CSR order, consulting the provider when
+// present (which serves them by cache hit, delta patching, or fresh
+// materialization).
 func (tc termCtx) groundWeights(g *graph.Digraph, spec termSpec, o Options, reversed bool) []int32 {
-	if tc.gc == nil {
+	if tc.prov == nil {
 		w := o.Costs.EdgeCosts(g, spec.ref, spec.op)
 		if reversed {
 			return graph.PermuteToReverse(g, w)
 		}
 		return w
 	}
-	k := weightKey{ref: tc.refHash, op: spec.op, reversed: reversed}
-	if w, ok := tc.gc.getWeights(k); ok {
-		return w
-	}
-	var w []int32
-	if reversed {
-		w = graph.PermuteToReverse(g, tc.groundWeights(g, spec, o, false))
-	} else {
-		w = o.Costs.EdgeCosts(g, spec.ref, spec.op)
-	}
-	tc.gc.putWeights(k, w)
-	return w
+	return tc.prov.weights(tc.refHash, spec.ref, spec.op, reversed)
 }
 
 // computeTerm evaluates one EMD* term. It returns the term value, the
@@ -260,29 +251,23 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 		if err := tc.cancelled(); err != nil {
 			return 0, 0, nil, nil, err
 		}
-		var rk rowKey
-		if tc.gc != nil {
-			rk = rowKey{ref: tc.refHash, op: spec.op, reversed: reversed, src: s}
-			if row, ok := tc.gc.getRow(rk); ok {
+		if tc.prov != nil {
+			// The provider serves the row by cache hit, by repairing an
+			// ancestor tree over the delta's dirty edges, or by a fresh
+			// Dijkstra it retains (with its parent tree) for future
+			// repairs. It declines only when its budget is spent.
+			if row, ok := tc.prov.row(tc.refHash, spec.ref, spec.op, reversed, s, srcW); ok {
 				rows[i] = row
 				continue
 			}
 		}
+		// No provider, or its budget is spent: compute fresh and keep
+		// the row in the worker's arena instead of allocating garbage
+		// per SSSP.
 		sssp.DijkstraInto(srcGraph, srcW, int(s), o.Heap, maxCost, res)
-		if tc.gc != nil && tc.gc.hasBudget(int64(len(res.Dist))*8) {
-			// Cached rows must outlive this term, so they get their own
-			// allocation rather than arena storage.
-			row := make([]int64, len(res.Dist))
-			copy(row, res.Dist)
-			tc.gc.putRow(rk, row)
-			rows[i] = row
-		} else {
-			// No cache, or its budget is spent: keep the row in the
-			// worker's arena instead of allocating garbage per SSSP.
-			row := tc.sc.takeRow(len(res.Dist))
-			copy(row, res.Dist)
-			rows[i] = row
-		}
+		row := tc.sc.takeRow(len(res.Dist))
+		copy(row, res.Dist)
+		rows[i] = row
 	}
 	capDist := func(d int64) int64 {
 		if d >= sssp.Unreachable || d > inf {

@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Digraph is an immutable directed graph in CSR form.
@@ -20,8 +21,9 @@ type Digraph struct {
 	off []int   // len N+1; out-edges of u are adj[off[u]:off[u+1]]
 	adj []int32 // len M; sorted within each row
 
-	rev       *Digraph // lazily built transpose (see Reverse)
-	revOfOrig []int32  // for the transpose: original edge index per reverse edge
+	revOnce sync.Once
+	rev     *Digraph // transpose, built on first Reverse (see Reverse)
+	toRev   []int32  // edge index in rev per edge index in this graph
 }
 
 // N returns the number of nodes.
@@ -75,12 +77,22 @@ func (g *Digraph) Edges(fn func(u, v int32) bool) {
 }
 
 // Reverse returns the transpose graph (edge v->u for every u->v). The
-// transpose is built once and cached; it is safe for concurrent readers
-// only after the first call completes, so callers that share a Digraph
-// across goroutines should invoke Reverse once up front.
+// transpose is built at most once, guarded by sync.Once, so concurrent
+// first calls from multiple goroutines are safe; every caller observes
+// the fully built transpose. Calling Reverse on the transpose returns
+// the original graph.
 func (g *Digraph) Reverse() *Digraph {
+	g.revOnce.Do(g.buildReverse)
+	return g.rev
+}
+
+// buildReverse constructs the transpose plus the edge-index mappings in
+// both directions. It runs under g.revOnce; on a graph that is itself a
+// transpose, rev and toRev were populated at construction, so it is a
+// no-op (the Once still provides the happens-before edge for readers).
+func (g *Digraph) buildReverse() {
 	if g.rev != nil {
-		return g.rev
+		return
 	}
 	n := g.N()
 	off := make([]int, n+1)
@@ -91,7 +103,8 @@ func (g *Digraph) Reverse() *Digraph {
 		off[i+1] += off[i]
 	}
 	adj := make([]int32, len(g.adj))
-	origIdx := make([]int32, len(g.adj))
+	origIdx := make([]int32, len(g.adj)) // rev edge -> orig edge
+	toRev := make([]int32, len(g.adj))   // orig edge -> rev edge
 	cursor := make([]int, n)
 	copy(cursor, off[:n])
 	for u := 0; u < n; u++ {
@@ -101,15 +114,42 @@ func (g *Digraph) Reverse() *Digraph {
 			slot := cursor[v]
 			adj[slot] = int32(u)
 			origIdx[slot] = int32(e)
+			toRev[e] = int32(slot)
 			cursor[v]++
 		}
 	}
 	// Rows of the transpose are already sorted: we scanned u in
 	// increasing order, so each row v received its tails in order.
-	rev := &Digraph{off: off, adj: adj, revOfOrig: origIdx}
+	rev := &Digraph{off: off, adj: adj, toRev: origIdx}
 	rev.rev = g
+	g.toRev = toRev
 	g.rev = rev
-	return rev
+}
+
+// ReverseEdge maps edge index e of g to the index of the same
+// underlying edge in g.Reverse()'s CSR order. On a transpose it maps
+// back to the original graph's order, so the mapping is an involution:
+// g.Reverse().ReverseEdge(g.ReverseEdge(e)) == e.
+func (g *Digraph) ReverseEdge(e int) int {
+	g.Reverse()
+	return int(g.toRev[e])
+}
+
+// Tail returns the tail (source) node of edge index e by binary search
+// over the CSR row offsets.
+func (g *Digraph) Tail(e int) int32 {
+	u := sort.Search(g.N(), func(u int) bool { return g.off[u+1] > e })
+	return int32(u)
+}
+
+// InEdges returns the tails of v's in-edges and, aligned with them,
+// each in-edge's index in g's own CSR order (usable to index per-edge
+// cost arrays aligned with g). Both slices alias internal storage of
+// the transpose and must not be modified.
+func (g *Digraph) InEdges(v int) (tails, edges []int32) {
+	rt := g.Reverse()
+	lo, hi := rt.EdgeRange(v)
+	return rt.adj[lo:hi], rt.toRev[lo:hi]
 }
 
 // PermuteToReverse maps a per-edge value array aligned with g's CSR
@@ -122,7 +162,7 @@ func PermuteToReverse(g *Digraph, w []int32) []int32 {
 	}
 	out := make([]int32, len(w))
 	for e := range out {
-		out[e] = w[rev.revOfOrig[e]]
+		out[e] = w[rev.toRev[e]]
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -288,4 +289,79 @@ func ErdosRenyiCapped(n, m int, seed int64) *Digraph {
 		m = max
 	}
 	return ErdosRenyi(n, m, seed)
+}
+
+// TestTailInEdgesReverseEdge covers the edge-index accessors the
+// incremental ground-distance pipeline relies on.
+func TestTailInEdgesReverseEdge(t *testing.T) {
+	g := ErdosRenyiCapped(40, 300, 7)
+	rev := g.Reverse()
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Tail(e), g.Head(e)
+		lo, hi := g.EdgeRange(int(u))
+		if e < lo || e >= hi {
+			t.Fatalf("Tail(%d) = %d but edge not in its row [%d,%d)", e, u, lo, hi)
+		}
+		re := g.ReverseEdge(e)
+		if rev.Tail(re) != v || rev.Head(re) != u {
+			t.Fatalf("ReverseEdge(%d): rev edge %d is %d->%d, want %d->%d",
+				e, re, rev.Tail(re), rev.Head(re), v, u)
+		}
+		if rev.ReverseEdge(re) != e {
+			t.Fatalf("ReverseEdge not an involution at edge %d", e)
+		}
+	}
+	// InEdges(v) must enumerate exactly the edges x->v, with indices in
+	// g's CSR order, on both the graph and its transpose.
+	for _, gr := range []*Digraph{g, rev} {
+		seen := make(map[int]bool)
+		for v := 0; v < gr.N(); v++ {
+			tails, edges := gr.InEdges(v)
+			if len(tails) != len(edges) {
+				t.Fatal("InEdges slices misaligned")
+			}
+			for i, p := range tails {
+				e := int(edges[i])
+				if gr.Tail(e) != p || gr.Head(e) != int32(v) {
+					t.Fatalf("InEdges(%d): edge %d is %d->%d, want %d->%d",
+						v, e, gr.Tail(e), gr.Head(e), p, v)
+				}
+				if seen[e] {
+					t.Fatalf("InEdges reported edge %d twice", e)
+				}
+				seen[e] = true
+			}
+		}
+		if len(seen) != gr.M() {
+			t.Fatalf("InEdges covered %d of %d edges", len(seen), gr.M())
+		}
+	}
+}
+
+// TestReverseConcurrentFirstUse hammers the lazy transpose build from
+// many goroutines; run under -race it pins the sync.Once guard that
+// makes concurrent first use safe (engine workers share a Digraph).
+func TestReverseConcurrentFirstUse(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		g := ErdosRenyiCapped(200, 2000, int64(trial))
+		var wg sync.WaitGroup
+		revs := make([]*Digraph, 16)
+		for i := range revs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rev := g.Reverse()
+				// Touch the mapping paths concurrently too.
+				_ = g.ReverseEdge(0)
+				_, _ = rev.InEdges(0)
+				revs[i] = rev
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < len(revs); i++ {
+			if revs[i] != revs[0] {
+				t.Fatal("concurrent Reverse returned distinct transposes")
+			}
+		}
+	}
 }

@@ -43,6 +43,25 @@ func DefaultGroundCosts(m PenaltyModel) GroundCosts {
 	return GroundCosts{CommCost: 1, InCost: 0, Model: m}
 }
 
+// LocalPenaltyModel marks penalty models whose per-edge penalty is a
+// pure function of the edge's endpoint opinions. For such models a
+// sparse state update only moves the costs of edges incident to the
+// changed users, which is what lets GroundCosts.PatchEdgeCosts update a
+// materialized cost array in O(delta * degree) instead of O(N + M).
+//
+// Models whose penalties aggregate over neighborhoods (ICC's activation
+// mass, LinearThreshold's in-weights) are not local: a single opinion
+// flip can move the penalty of edges two hops away, so they fall back
+// to full rematerialization.
+type LocalPenaltyModel interface {
+	PenaltyModel
+	// EdgePenalty returns the penalty of an edge whose tail (spreader)
+	// holds su and whose head (receiver) holds sv, for opinion op. It
+	// must agree with Penalties: for every edge e = (u, v),
+	// Penalties(g, st, op)[e] == EdgePenalty(st[u], st[v], op).
+	EdgePenalty(su, sv, op Opinion) int32
+}
+
 // EdgeCosts materializes the integer ground-distance edge costs for
 // propagating op through state st: CommCost + InCost + model penalty.
 // Every cost is a positive integer bounded by MaxCost (Assumption 2).
@@ -69,6 +88,78 @@ func (gc GroundCosts) EdgeCosts(g *graph.Digraph, st State, op Opinion) []int32 
 		}
 	}
 	return w
+}
+
+// PatchEdgeCosts updates w — the EdgeCosts of an earlier state — in
+// place to the EdgeCosts of st, where changed lists the users whose
+// opinion differs between the two states (listing an unchanged user is
+// harmless, omitting a changed one is not; duplicates are tolerated).
+// Only the edges incident to changed users are touched: their out-edges
+// directly, their in-edges through the graph transpose. The CSR indices
+// of every edge whose stored cost actually moved are appended to
+// touchedBuf and returned (each index at most once) — they are exactly
+// the dirty set a cached shortest-path tree over w must be repaired
+// with.
+//
+// ok is false when the model does not implement LocalPenaltyModel; w is
+// left untouched and the caller must rematerialize with EdgeCosts.
+func (gc GroundCosts) PatchEdgeCosts(g *graph.Digraph, st State, changed []int32, op Opinion, w []int32, touchedBuf []int32) (touched []int32, ok bool) {
+	lm, isLocal := gc.Model.(LocalPenaltyModel)
+	if !isLocal {
+		return touchedBuf, false
+	}
+	if len(st) != g.N() {
+		panic(fmt.Sprintf("opinion: state has %d users, graph %d", len(st), g.N()))
+	}
+	if len(w) != g.M() {
+		panic(fmt.Sprintf("opinion: cost array has %d entries, graph has %d edges", len(w), g.M()))
+	}
+	base := gc.CommCost + gc.InCost
+	if base < 1 {
+		panic("opinion: CommCost+InCost must be >= 1 to keep costs positive")
+	}
+	if gc.PerUserIn != nil && len(gc.PerUserIn) != g.N() {
+		panic(fmt.Sprintf("opinion: PerUserIn has %d entries, graph %d", len(gc.PerUserIn), g.N()))
+	}
+	touched = touchedBuf
+	inChanged := make(map[int32]bool, len(changed))
+	for _, u := range changed {
+		inChanged[u] = true
+	}
+	stub := func(v int32) int32 {
+		if gc.PerUserIn == nil {
+			return 0
+		}
+		s := gc.PerUserIn[v]
+		if s < 0 {
+			panic(fmt.Sprintf("opinion: negative stubbornness %d for user %d", s, v))
+		}
+		return s
+	}
+	for u := range inChanged {
+		lo, hi := g.EdgeRange(int(u))
+		for e := lo; e < hi; e++ {
+			v := g.Head(e)
+			c := base + lm.EdgePenalty(st[u], st[v], op) + stub(v)
+			if w[e] != c {
+				w[e] = c
+				touched = append(touched, int32(e))
+			}
+		}
+		tails, edges := g.InEdges(int(u))
+		for j, p := range tails {
+			if inChanged[p] {
+				continue // covered by p's own out-edge pass
+			}
+			e := edges[j]
+			c := base + lm.EdgePenalty(st[p], st[u], op) + stub(u)
+			if w[e] != c {
+				w[e] = c
+				touched = append(touched, e)
+			}
+		}
+	}
+	return touched, true
 }
 
 // MaxCost returns U, the upper bound on any edge cost.
@@ -148,6 +239,21 @@ func (a Agnostic) Name() string { return "agnostic" }
 
 // MaxPenalty implements PenaltyModel.
 func (a Agnostic) MaxPenalty() int32 { return a.Adverse }
+
+// EdgePenalty implements LocalPenaltyModel: the agnostic penalty of one
+// edge depends only on the spreader's and receiver's opinions, so
+// sparse state updates patch cost arrays locally.
+func (a Agnostic) EdgePenalty(su, sv, op Opinion) int32 {
+	adverse := op.Opposite()
+	switch {
+	case su == adverse || sv == adverse:
+		return a.Adverse
+	case su == Neutral:
+		return a.NeutralC
+	default: // su == op
+		return a.Friendly
+	}
+}
 
 // Penalties implements PenaltyModel.
 func (a Agnostic) Penalties(g *graph.Digraph, st State, op Opinion) []int32 {

@@ -1,0 +1,160 @@
+package opinion
+
+import (
+	"math/rand"
+	"testing"
+
+	"snd/internal/graph"
+)
+
+func randState(n int, rng *rand.Rand) State {
+	st := NewState(n)
+	for i := range st {
+		st[i] = Opinion(rng.Intn(3) - 1)
+	}
+	return st
+}
+
+// TestAgnosticEdgePenaltyAgreesWithPenalties pins the LocalPenaltyModel
+// contract: EdgePenalty must reproduce Penalties for every combination
+// of endpoint opinions, for both polar opinions.
+func TestAgnosticEdgePenaltyAgreesWithPenalties(t *testing.T) {
+	// A 2-node graph with the single edge 0->1 enumerates all 9 opinion
+	// combinations exactly.
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	a := DefaultAgnostic
+	ops := []Opinion{Negative, Neutral, Positive}
+	for _, su := range ops {
+		for _, sv := range ops {
+			for _, op := range []Opinion{Positive, Negative} {
+				st := State{su, sv}
+				want := a.Penalties(g, st, op)[0]
+				if got := a.EdgePenalty(su, sv, op); got != want {
+					t.Errorf("EdgePenalty(%v,%v,%v) = %d, Penalties says %d", su, sv, op, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPatchEdgeCosts drives random delta sequences through
+// PatchEdgeCosts and cross-checks every round against a full EdgeCosts
+// rematerialization, including the touched-edge dirty set.
+func TestPatchEdgeCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(60) + 5
+		g := graph.ErdosRenyi(n, n*3, int64(trial))
+		gc := DefaultGroundCosts(DefaultAgnostic)
+		if trial%3 == 0 {
+			per := make([]int32, n)
+			for i := range per {
+				per[i] = rng.Int31n(3)
+			}
+			gc.PerUserIn = per
+		}
+		st := randState(n, rng)
+		for _, op := range []Opinion{Positive, Negative} {
+			w := gc.EdgeCosts(g, st, op)
+			cur := st.Clone()
+			for round := 0; round < 12; round++ {
+				next := cur.Clone()
+				var changed []int32
+				k := rng.Intn(5) + 1
+				for i := 0; i < k; i++ {
+					u := int32(rng.Intn(n))
+					next[u] = Opinion(rng.Intn(3) - 1)
+					changed = append(changed, u) // may duplicate; may be a no-op flip
+				}
+				touched, ok := gc.PatchEdgeCosts(g, next, changed, op, w, nil)
+				if !ok {
+					t.Fatal("agnostic model must be patchable")
+				}
+				want := gc.EdgeCosts(g, next, op)
+				touchedSet := make(map[int32]int)
+				for _, e := range touched {
+					touchedSet[e]++
+					if touchedSet[e] > 1 {
+						t.Fatalf("edge %d reported touched twice", e)
+					}
+				}
+				for e := range w {
+					if w[e] != want[e] {
+						t.Fatalf("trial %d round %d: patched w[%d] = %d, full EdgeCosts %d",
+							trial, round, e, w[e], want[e])
+					}
+					// Every edge whose cost moved must be in the dirty set.
+					// (The set may include edges whose cost was restored by
+					// a same-round flip-back — that is harmless for repair.)
+				}
+				cur = next
+			}
+		}
+	}
+}
+
+// TestPatchEdgeCostsTouchedIsExact: the returned dirty set contains an
+// entry for every edge whose stored value moved across the patch.
+func TestPatchEdgeCostsTouchedIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := graph.ErdosRenyi(40, 160, 9)
+	gc := DefaultGroundCosts(DefaultAgnostic)
+	st := randState(g.N(), rng)
+	w := gc.EdgeCosts(g, st, Positive)
+	before := append([]int32(nil), w...)
+	next := st.Clone()
+	changed := []int32{3, 17, 29}
+	for _, u := range changed {
+		next[u] = next[u].Opposite()
+		if next[u] == Neutral {
+			next[u] = Positive
+		}
+	}
+	touched, ok := gc.PatchEdgeCosts(g, next, changed, Positive, w, nil)
+	if !ok {
+		t.Fatal("agnostic model must be patchable")
+	}
+	inTouched := make(map[int32]bool, len(touched))
+	for _, e := range touched {
+		inTouched[e] = true
+	}
+	for e := range w {
+		if w[e] != before[e] && !inTouched[int32(e)] {
+			t.Errorf("edge %d moved %d -> %d but is not in the dirty set", e, before[e], w[e])
+		}
+		if w[e] == before[e] && inTouched[int32(e)] {
+			t.Errorf("edge %d did not move but is in the dirty set", e)
+		}
+	}
+}
+
+// TestPatchEdgeCostsNonLocalModel: aggregate models refuse to patch and
+// leave the cost array untouched.
+func TestPatchEdgeCostsNonLocalModel(t *testing.T) {
+	g := graph.ErdosRenyi(20, 60, 2)
+	for _, gc := range []GroundCosts{
+		DefaultGroundCosts(DefaultICC),
+		DefaultGroundCosts(DefaultLinearThreshold),
+	} {
+		st := NewState(g.N())
+		st[0], st[1] = Positive, Negative
+		w := gc.EdgeCosts(g, st, Positive)
+		before := append([]int32(nil), w...)
+		next := st.Clone()
+		next[2] = Positive
+		touched, ok := gc.PatchEdgeCosts(g, next, []int32{2}, Positive, w, nil)
+		if ok {
+			t.Errorf("%s: non-local model reported patchable", gc.Model.Name())
+		}
+		if len(touched) != 0 {
+			t.Errorf("%s: non-local patch returned a dirty set", gc.Model.Name())
+		}
+		for e := range w {
+			if w[e] != before[e] {
+				t.Fatalf("%s: refused patch mutated the cost array", gc.Model.Name())
+			}
+		}
+	}
+}

@@ -32,6 +32,12 @@ var (
 	ErrShortSeries = core.ErrShortSeries
 	// ErrEngineClosed reports a call on a closed Network (or Engine).
 	ErrEngineClosed = core.ErrEngineClosed
+	// ErrDeltaIndex reports an invalid StateDelta entry: a change
+	// addressing a user outside [0, n), or carrying an opinion value
+	// outside {Negative, Neutral, Positive}. Such failures also wrap
+	// the matching shape sentinel (ErrStateSize or ErrInvalidOpinion)
+	// for callers branching on the older errors.
+	ErrDeltaIndex = core.ErrDeltaIndex
 )
 
 // OpinionChange is one entry of a StateDelta: user User's opinion
@@ -48,13 +54,6 @@ type OpinionChange struct {
 // crosses the API once (Network.SetState), every subsequent tick is
 // just its changed coordinates.
 type StateDelta []OpinionChange
-
-// retainRecent is how many superseded tracked states keep their
-// ground-distance cache entries. Step evaluates SND(previous, current),
-// so the previous state's SSSP rows are hit again on the very next
-// tick; states older than the window cannot recur as reference states
-// of tracked-state traffic and are evicted to refund cache budget.
-const retainRecent = 4
 
 // Network is the long-lived handle of the package: one social graph,
 // one concurrent compute engine, and (optionally) one tracked state
@@ -82,8 +81,7 @@ type Network struct {
 	eng  *Engine
 
 	mu      sync.Mutex
-	cur     State   // tracked state; nil until SetState
-	recent  []State // superseded tracked states still holding cache entries
+	cur     State // tracked state; nil until SetState
 	version uint64
 }
 
@@ -213,7 +211,7 @@ func (nw *Network) SetState(st State) error {
 		return err
 	}
 	nw.mu.Lock()
-	nw.advanceLocked(st.Clone())
+	nw.advanceLocked(st.Clone(), nil)
 	nw.mu.Unlock()
 	return nil
 }
@@ -230,86 +228,96 @@ func (nw *Network) Current() (State, uint64) {
 
 // Apply advances the tracked state by a sparse delta. The previous
 // state object is left intact (snapshots returned by Current remain
-// valid); cache entries of states that scrolled out of the recent
-// window are evicted so the ground-distance cache budget follows the
-// evolving state. Returns the new state snapshot.
+// valid), and the delta is routed into the engine's ground-distance
+// provider, which keeps the new state's edge costs and shortest-path
+// trees derivable from the previous state's by O(|delta|) patching —
+// the provider's own retention window refunds the budget of states
+// that scroll out. Returns the new state snapshot.
 func (nw *Network) Apply(delta StateDelta) (State, error) {
 	if err := nw.closedErr(); err != nil {
 		return nil, err
 	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	next, err := nw.applyLocked(delta)
+	next, changed, err := nw.applyLocked(delta)
 	if err != nil {
 		return nil, err
 	}
-	nw.advanceLocked(next)
+	nw.advanceLocked(next, changed)
 	return next, nil
 }
 
 // Step advances the tracked state by delta and returns
 // SND(previous, current) — the monitoring primitive: feed each tick's
-// changes, get the propagation-aware distance the tick covered.
-// Adjacent Steps share reference states, so their SSSP rows hit the
-// engine's cache. The state advances even when the distance evaluation
-// is cancelled; re-query via Current.
+// changes, get the propagation-aware distance the tick covered. The
+// delta is routed into the ground-distance provider, so the evaluation
+// reuses the previous tick's materialized edge costs (patched over the
+// delta's dirty edges) and repairs retained shortest-path trees
+// instead of recomputing them: Step cost scales with |delta|, and the
+// distances are bit-identical to a full SetState recompute. The state
+// advances even when the distance evaluation is cancelled; re-query
+// via Current.
 func (nw *Network) Step(ctx context.Context, delta StateDelta) (Result, error) {
 	if err := nw.closedErr(); err != nil {
 		return Result{}, err
 	}
 	nw.mu.Lock()
 	prev := nw.cur
-	next, err := nw.applyLocked(delta)
+	next, changed, err := nw.applyLocked(delta)
 	if err != nil {
 		nw.mu.Unlock()
 		return Result{}, err
 	}
-	nw.advanceLocked(next)
+	nw.advanceLocked(next, changed)
 	nw.mu.Unlock()
 	return nw.eng.Distance(ctx, prev, next)
 }
 
 // applyLocked validates delta against the tracked state and returns
-// the updated copy. Callers hold nw.mu.
-func (nw *Network) applyLocked(delta StateDelta) (State, error) {
+// the updated copy plus the users whose opinion actually changed.
+// Callers hold nw.mu.
+func (nw *Network) applyLocked(delta StateDelta) (State, []int32, error) {
 	if nw.cur == nil {
-		return nil, fmt.Errorf("snd: Apply before SetState: no tracked state: %w", ErrStateSize)
+		return nil, nil, fmt.Errorf("snd: Apply before SetState: no tracked state: %w", ErrStateSize)
 	}
 	for i, ch := range delta {
 		if ch.User < 0 || ch.User >= nw.g.N() {
-			return nil, fmt.Errorf("snd: delta change %d addresses user %d of %d: %w", i, ch.User, nw.g.N(), ErrStateSize)
+			return nil, nil, fmt.Errorf("snd: delta change %d addresses user %d of %d: %w: %w",
+				i, ch.User, nw.g.N(), ErrDeltaIndex, ErrStateSize)
 		}
 		if !ch.Opinion.Valid() {
-			return nil, fmt.Errorf("snd: delta change %d has opinion %d: %w", i, ch.Opinion, ErrInvalidOpinion)
+			return nil, nil, fmt.Errorf("snd: delta change %d has opinion %d: %w: %w",
+				i, ch.Opinion, ErrDeltaIndex, ErrInvalidOpinion)
 		}
 	}
 	next := nw.cur.Clone()
 	for _, ch := range delta {
 		next[ch.User] = ch.Opinion
 	}
-	return next, nil
-}
-
-// advanceLocked installs next as the tracked state and retires the old
-// one into the recent window, evicting the cache entries of whatever
-// scrolls out. The cache is keyed by state *content*, so a scrolled-out
-// state is evicted only when no retained state (including next) has
-// the same content — otherwise quiet ticks (empty or reverting deltas)
-// would evict the live state's own entries. Callers hold nw.mu.
-func (nw *Network) advanceLocked(next State) {
-	if nw.cur != nil {
-		nw.recent = append(nw.recent, nw.cur)
-		if len(nw.recent) > retainRecent {
-			old := nw.recent[0]
-			nw.recent = nw.recent[1:]
-			live := old.DiffCount(next) == 0
-			for _, st := range nw.recent {
-				live = live || old.DiffCount(st) == 0
-			}
-			if !live {
-				nw.eng.EvictRef(old)
+	// The changed set is computed from the delta (not a full-state
+	// diff), so a small tick on a huge state stays O(|delta|); entries
+	// that duplicate or revert an opinion drop out here.
+	var changed []int32
+	seen := make(map[int]bool, len(delta))
+	for _, ch := range delta {
+		if !seen[ch.User] {
+			seen[ch.User] = true
+			if next[ch.User] != nw.cur[ch.User] {
+				changed = append(changed, int32(ch.User))
 			}
 		}
+	}
+	return next, changed, nil
+}
+
+// advanceLocked installs next as the tracked state and, when next
+// derives from it by a sparse delta, reports the lineage to the
+// engine's ground-distance provider (which owns retention: tracked
+// states ride its window and are refunded as they scroll out).
+// Callers hold nw.mu.
+func (nw *Network) advanceLocked(next State, changed []int32) {
+	if nw.cur != nil && len(changed) > 0 {
+		nw.eng.AdvanceRef(nw.cur, next, changed)
 	}
 	nw.cur = next
 	nw.version++

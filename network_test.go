@@ -251,8 +251,8 @@ func TestNetworkDeltaRoundTrip(t *testing.T) {
 	if cur, v := nw.Current(); v != 1 || cur.DiffCount(states[0]) != 0 {
 		t.Fatalf("after SetState: version %d, diff %d", v, cur.DiffCount(states[0]))
 	}
-	// 9 ticks > retainRecent exercises cache eviction of scrolled-out
-	// reference states.
+	// 9 ticks of deltas exercise the provider's tracked window (states
+	// scroll through it, refunding their retained bytes).
 	for i := 1; i < len(states); i++ {
 		var delta StateDelta
 		prev, cur := states[i-1], states[i]
@@ -283,7 +283,7 @@ func TestNetworkDeltaRoundTrip(t *testing.T) {
 	// Quiet ticks: an empty delta is a zero-distance self-transition
 	// and must not disturb the tracked state (its cache entries stay
 	// live — eviction skips content still in the window).
-	for i := 0; i < retainRecent+2; i++ {
+	for i := 0; i < 6; i++ {
 		res, err := nw.Step(ctx, nil)
 		if err != nil {
 			t.Fatalf("empty Step %d: %v", i, err)
