@@ -2,7 +2,8 @@ package snd
 
 // Benchmarks, one per table and figure of the paper's evaluation
 // section, at bench-friendly sizes (cmd/sndbench regenerates the full
-// tables; EXPERIMENTS.md records the runs). Ablation benchmarks cover
+// tables; the committed BENCH_*.json snapshots record the runs).
+// Ablation benchmarks cover
 // the design choices DESIGN.md calls out: computation engine, flow
 // solver, Dijkstra heap, ground-cost model, and bank allocation.
 

@@ -13,7 +13,7 @@ import (
 // banks absorb the mass mismatch at cluster granularity, which keeps
 // the penalty spatial while avoiding the saturated escape costs that
 // per-user banks pay at weakly-connected users of a directed follower
-// graph (see EXPERIMENTS.md).
+// graph.
 func measures(g *snd.Graph) ([]snd.Measure, *snd.Network) {
 	opts := snd.DefaultOptions()
 	opts.Clusters = snd.BFSClusterLabels(g, 64)

@@ -3,7 +3,7 @@
 // or series the paper reports; absolute timings and magnitudes depend
 // on the machine and the default laptop-scale sizes, but the shapes —
 // who wins, by what factor, where crossovers fall — reproduce the
-// paper. EXPERIMENTS.md records paper-vs-measured for every run.
+// paper. The committed BENCH_*.json snapshots record measured runs.
 //
 // Usage:
 //
@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 )
@@ -36,6 +38,7 @@ type scale struct {
 	fig11DirectCap                    int
 	fig12N                            int
 	fig12Deltas                       []int
+	ssspN, ssspStates                 int
 }
 
 var presets = map[string]scale{
@@ -57,6 +60,9 @@ var presets = map[string]scale{
 		fig11DirectCap: 300,
 		fig12N:         5000,
 		fig12Deltas:    []int{50, 100, 200, 400, 800, 1500},
+		// The sssp experiment pins n = 20000 even at the small preset:
+		// it is the committed BENCH_sssp.json acceptance workload.
+		ssspN: 20000, ssspStates: 6,
 	},
 	"medium": {
 		fig7N: 10000, fig7States: 40,
@@ -71,6 +77,8 @@ var presets = map[string]scale{
 		fig11DirectCap: 400,
 		fig12N:         20000,
 		fig12Deltas:    []int{100, 500, 1000, 2000, 4000},
+		ssspN:          20000,
+		ssspStates:     10,
 	},
 	"paper": {
 		fig7N: 20000, fig7States: 40,
@@ -85,20 +93,34 @@ var presets = map[string]scale{
 		fig11DirectCap: 500,
 		fig12N:         20000,
 		fig12Deltas:    []int{500, 1000, 2000, 4000, 6000, 8000, 10000},
+		ssspN:          50000,
+		ssspStates:     12,
 	},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, or all")
+	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, sssp, or all")
 	preset := flag.String("preset", "small", "size preset: small, medium, paper")
 	seed := flag.Int64("seed", 42, "master random seed")
 	flag.StringVar(&benchJSONPath, "benchjson", "", "write the engine experiment's snapshot to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
 
 	sc, ok := presets[*preset]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown preset %q (small|medium|paper)\n", *preset)
 		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	runners := map[string]func(scale, int64){
 		"fig7":     runFig7,
@@ -111,8 +133,9 @@ func main() {
 		"ablation": runAblation,
 		"engine":   runEngine,
 		"delta":    runDelta,
+		"sssp":     runSSSP,
 	}
-	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta"}
+	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta", "sssp"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = order
@@ -127,6 +150,17 @@ func main() {
 		start := time.Now()
 		run(sc, *seed)
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("memprofile: %v", err)
+		}
+		f.Close()
 	}
 }
 

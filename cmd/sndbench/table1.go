@@ -52,7 +52,7 @@ func evalPredictors(g *snd.Graph, states []snd.State, sc scale, seed int64) []pr
 	// SND uses coarse (Fig. 4) bank clusters for prediction: cluster
 	// banks aggregate mass, keeping the mismatch penalty robust where
 	// per-user banks at weakly-connected users would drown the signal
-	// in saturated escape costs (see EXPERIMENTS.md).
+	// in saturated escape costs.
 	sndOpts := snd.DefaultOptions()
 	sndOpts.Clusters = snd.BFSClusterLabels(g, 64)
 	nw := snd.NewNetwork(g, sndOpts, snd.EngineConfig{})

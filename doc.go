@@ -106,6 +106,41 @@
 // reference states (Pairs/Matrix traffic) are retained first-come
 // until the budget is spent, as before.
 //
+// # The goal-pruned SSSP fan-out
+//
+// The Theorem 4 pipeline consumes, per EMD* term, only the ground
+// distances from each residual supplier to the residual consumers and
+// bank members. The fan-out therefore runs a goal-set-pruned Dijkstra:
+// each per-source search stops as soon as every queried target is
+// settled or the frontier passes the saturation cost (beyond which
+// every distance is charged the same escape cost), and rows are stored
+// target-indexed — proportional to the reduced instance, not the
+// graph. Pruning is exact on the queried columns, so distances are
+// bit-identical to the full-row pipeline (pinned by property tests;
+// Options.NoGoalPrune pins the old behavior for comparison).
+//
+// Retention differs by reference-state kind. Tracked states (the
+// delta-monitoring window) keep exact full rows with parent trees —
+// they are the repair donors Step's incremental path derives from.
+// Untracked (batch) states retain compact rows capped at the
+// saturation cost, a third of a tree's bytes, so Series and Matrix
+// traffic that revisits a reference state keeps hitting at scales
+// where full-tree retention would thrash; the caps never change a
+// result bit because term assembly saturates at the same threshold.
+// Once the budget is spent the fan-out computes pruned rows into
+// per-worker scratch and retains nothing.
+//
+// Within one term the per-source searches are independent: engine
+// workers that run out of terms steal them (a single Distance call has
+// only four terms, so the fifth and later workers contribute entirely
+// through this), with row placement fixed up front so any claim order
+// produces identical bits.
+//
+// Options.Heap defaults to HeapAuto, which picks the Dijkstra queue by
+// the cost model's edge-cost bound: Dial's bucket queue while the
+// bound buckets cheaply (Assumption 2 costs always do), the radix heap
+// beyond; both queues are pooled in the worker scratch arenas.
+//
 // # Errors
 //
 // Input validation fails with errors wrapping the structured sentinels
@@ -141,5 +176,7 @@
 //     with a labelled 2008-2011 event timeline.
 //
 // The cmd/sndbench tool regenerates every table and figure of the
-// paper's evaluation section; see EXPERIMENTS.md for the mapping.
+// paper's evaluation section, plus the engine, delta, and sssp
+// experiments behind the committed BENCH_baseline.json,
+// BENCH_delta.json, and BENCH_sssp.json snapshots.
 package snd

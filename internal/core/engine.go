@@ -86,7 +86,8 @@ func NewEngine(g *graph.Digraph, opts Options, cfg EngineConfig) *Engine {
 		if budget == 0 {
 			budget = defaultGroundCacheBytes
 		}
-		prov = newGroundProvider(g, dopts.Costs, dopts.Heap, budget)
+		prov = newGroundProvider(g, dopts.Costs, dopts.Heap, budget,
+			infCost(g.N(), dopts.Costs.MaxCost(), dopts.EscapeHops))
 	}
 	// Build the transpose up front for the strategies that read it, so
 	// the first batch doesn't pay the O(N+M) build inside a worker
@@ -292,12 +293,32 @@ func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, er
 	}
 	total := 4 * len(pairs)
 	outs := make([]termOut, total)
+	// All configured workers spawn even when the batch has fewer terms
+	// than workers: a term's SSSP fan-out is split into sub-tasks, and
+	// workers with no term of their own — including the ones a single
+	// Distance call (4 terms) used to leave idle — steal those through
+	// the help pool until the batch drains.
 	workers := e.workers
-	if workers > total {
-		workers = total
+	var hp *helpPool
+	if workers > 1 {
+		hp = newHelpPool()
 	}
-	var next atomic.Int64
+	var next, termsLeft atomic.Int64
 	next.Store(-1)
+	termsLeft.Store(int64(total))
+	watchDone := make(chan struct{})
+	if hp != nil {
+		// The pool also closes on cancellation: workers stop claiming
+		// terms without draining termsLeft, and waiting helpers must
+		// still wake and exit.
+		go func() {
+			select {
+			case <-ctx.Done():
+				hp.close()
+			case <-watchDone:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -307,15 +328,15 @@ func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, er
 			defer e.pool.Put(sc)
 			for {
 				if ctx.Err() != nil {
-					return // cancelled: stop claiming terms
+					break // cancelled: stop claiming terms
 				}
 				t := int(next.Add(1))
 				if t >= total {
-					return
+					break
 				}
 				pi, term := t/4, t%4
 				spec := eqSpec(pairs[pi].A, pairs[pi].B, term)
-				tc := termCtx{ctx: ctx, sc: sc, prov: e.prov}
+				tc := termCtx{ctx: ctx, sc: sc, prov: e.prov, help: hp}
 				if e.prov != nil {
 					tc.refHash = hashes[pi][term/2]
 				}
@@ -325,10 +346,17 @@ func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, er
 						pi, term, spec.op, refName(term), err)
 				}
 				outs[t] = termOut{val: v, runs: runs, used: used, err: err}
+				if termsLeft.Add(-1) == 0 && hp != nil {
+					hp.close()
+				}
+			}
+			if hp != nil {
+				hp.help(sc)
 			}
 		}()
 	}
 	wg.Wait()
+	close(watchDone)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -366,13 +394,21 @@ func eqSpecs(a, b opinion.State) [4]termSpec {
 	return [4]termSpec{eqSpec(a, b, 0), eqSpec(a, b, 1), eqSpec(a, b, 2), eqSpec(a, b, 3)}
 }
 
-// scratch is one worker's reusable arena: SSSP distance/parent buffers,
-// bulk row storage for ground-distance rows, and a flow network whose
-// arc banks and solver buffers survive across term solves.
+// scratch is one worker's reusable arena: SSSP buffers (full-run
+// distance/parent storage, the goal-pruned run's epoch-stamped scratch,
+// the pooled frontier queues), bulk row storage for the target-indexed
+// ground-distance rows plus their header slice, the term's target and
+// bank-offset lists, and a flow network whose arc banks and solver
+// buffers survive across term solves.
 type scratch struct {
-	res    sssp.Result
-	nw     *flow.Network
-	rowBuf []int64
+	res     sssp.Result
+	goals   sssp.GoalsScratch
+	fr      sssp.Frontier
+	nw      *flow.Network
+	rowBuf  []int64
+	rows    [][]int64
+	targets []int32
+	bankOff []int32
 }
 
 // network returns a flow network with n nodes and room for hintArcs
@@ -395,6 +431,45 @@ func (sc *scratch) resetRows() {
 	if sc != nil {
 		sc.rowBuf = sc.rowBuf[:0]
 	}
+}
+
+// takeRowHeaders returns a k-sized row-header slice from the arena
+// (the [][]int64 whose entries index this term's rows), growing it as
+// needed; the headers are overwritten every term instead of allocated.
+func (sc *scratch) takeRowHeaders(k int) [][]int64 {
+	if sc == nil {
+		return make([][]int64, k)
+	}
+	if cap(sc.rows) < k {
+		sc.rows = make([][]int64, k)
+	}
+	sc.rows = sc.rows[:k]
+	return sc.rows
+}
+
+// takeTargets returns the reusable target-list buffer, emptied, with
+// capacity for at least hint entries; the caller appends and stores the
+// final slice back so growth persists across terms.
+func (sc *scratch) takeTargets(hint int) []int32 {
+	if sc == nil {
+		return make([]int32, 0, hint)
+	}
+	if cap(sc.targets) < hint {
+		sc.targets = make([]int32, 0, hint)
+	}
+	return sc.targets[:0]
+}
+
+// takeBankOff returns the reusable bank-offset buffer, emptied, with
+// capacity for at least hint entries.
+func (sc *scratch) takeBankOff(hint int) []int32 {
+	if sc == nil {
+		return make([]int32, 0, hint)
+	}
+	if cap(sc.bankOff) < hint {
+		sc.bankOff = make([]int32, 0, hint)
+	}
+	return sc.bankOff[:0]
 }
 
 // takeRow returns an n-sized row from the arena, growing it as needed.

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// fanout is one term's SSSP fan-out split into per-source sub-tasks.
+// Sub-task i fills a pre-placed row, so any mix of claimants produces
+// bit-identical results; claims are atomic, and done closes when every
+// claimed sub-task has finished executing (not merely been claimed), so
+// the owner can safely reuse its row arena afterwards.
+type fanout struct {
+	run       func(sc *scratch, i int)
+	ctx       context.Context // checked per sub-task; may be nil
+	total     int64
+	next      atomic.Int64
+	completed atomic.Int64
+	done      chan struct{}
+}
+
+// work claims and executes sub-tasks until none remain. A cancelled
+// context turns the remaining sub-tasks into no-ops (they are still
+// claimed and counted, so done always closes); the fan-out owner
+// surfaces the context error afterwards.
+func (f *fanout) work(sc *scratch) {
+	for {
+		i := f.next.Add(1) - 1
+		if i >= f.total {
+			return
+		}
+		if f.ctx == nil || f.ctx.Err() == nil {
+			f.run(sc, int(i))
+		}
+		if f.completed.Add(1) == f.total {
+			close(f.done)
+		}
+	}
+}
+
+// helpPool lets engine workers that ran out of terms steal the SSSP
+// sub-tasks of terms other workers are still computing. Without it a
+// single Distance call keeps at most four workers busy (one per EMD*
+// term); with it every idle worker joins the widest remaining loops.
+// Each claimant computes into its own scratch arena and writes only its
+// sub-task's pre-placed row, so results are identical to the sequential
+// loop no matter who steals what.
+type helpPool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active []*fanout
+	closed bool
+}
+
+func newHelpPool() *helpPool {
+	hp := &helpPool{}
+	hp.cond = sync.NewCond(&hp.mu)
+	return hp
+}
+
+// runFanout splits total sub-tasks across this worker and any idle
+// ones: it publishes the fan-out, participates with the owner's
+// scratch, and returns once every sub-task has finished executing. The
+// returned error is the context's, if it cancelled mid-fan-out.
+func (hp *helpPool) runFanout(ctx context.Context, ownerSc *scratch, total int, run func(sc *scratch, i int)) error {
+	f := &fanout{run: run, ctx: ctx, total: int64(total), done: make(chan struct{})}
+	hp.mu.Lock()
+	hp.active = append(hp.active, f)
+	hp.cond.Broadcast()
+	hp.mu.Unlock()
+	f.work(ownerSc)
+	hp.remove(f)
+	<-f.done
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// remove unpublishes an exhausted fan-out; it is idempotent (both the
+// owner and a helper that drained the claim counter may call it).
+func (hp *helpPool) remove(f *fanout) {
+	hp.mu.Lock()
+	for i, a := range hp.active {
+		if a == f {
+			hp.active = append(hp.active[:i], hp.active[i+1:]...)
+			break
+		}
+	}
+	hp.mu.Unlock()
+}
+
+// help is the idle-worker loop: steal sub-tasks from published
+// fan-outs until the pool closes (no further fan-outs can appear).
+func (hp *helpPool) help(sc *scratch) {
+	for {
+		hp.mu.Lock()
+		for len(hp.active) == 0 && !hp.closed {
+			hp.cond.Wait()
+		}
+		if len(hp.active) == 0 {
+			hp.mu.Unlock()
+			return
+		}
+		f := hp.active[0]
+		hp.mu.Unlock()
+		f.work(sc)
+		// Claims are exhausted (work returned); unpublish so the next
+		// iteration moves on rather than re-picking a drained fan-out.
+		hp.remove(f)
+	}
+}
+
+// close marks that no further fan-outs will be published and wakes
+// every waiting helper. Idempotent; called when the batch's last term
+// completes or its context is cancelled.
+func (hp *helpPool) close() {
+	hp.mu.Lock()
+	hp.closed = true
+	hp.cond.Broadcast()
+	hp.mu.Unlock()
+}

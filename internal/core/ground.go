@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 
 	"snd/internal/graph"
@@ -60,6 +61,12 @@ type groundProvider struct {
 	costs   opinion.GroundCosts
 	heap    pqueue.Kind
 	maxCost int64
+	// capAt is the term pipeline's saturation cost (infCost under the
+	// engine's options): every distance beyond it is charged exactly
+	// capAt by arc assembly, so compact retained rows store
+	// min(d, capAt) in an int32 without changing any result bit. <= 0
+	// disables compact rows (as does a cap beyond int32).
+	capAt int64
 	// local: the cost model supports O(delta)-edge patching, which also
 	// gates tree repair (non-local models move costs beyond the edges
 	// incident to changed users).
@@ -113,9 +120,16 @@ type groundRef struct {
 
 // refSide is one opinion's share of a groundRef.
 type refSide struct {
-	fwdW  []int32
-	revW  []int32
+	fwdW []int32
+	revW []int32
+	// trees are exact full rows plus (under local models) parent
+	// arrays — the repair donors of the tracked delta path.
 	trees map[treeKey]*spTree
+	// rows are compact rows capped at capAt, retained for untracked
+	// (batch) reference states: a third of a tree's bytes, so Series
+	// and Matrix traffic that revisits a reference state hits where
+	// full-tree retention used to thrash the budget.
+	rows map[treeKey][]int32
 }
 
 type treeKey struct {
@@ -137,13 +151,14 @@ func opIdx(op opinion.Opinion) int {
 	return 0
 }
 
-func newGroundProvider(g *graph.Digraph, costs opinion.GroundCosts, heap pqueue.Kind, budget int64) *groundProvider {
+func newGroundProvider(g *graph.Digraph, costs opinion.GroundCosts, heap pqueue.Kind, budget, capAt int64) *groundProvider {
 	_, local := costs.Model.(opinion.LocalPenaltyModel)
 	return &groundProvider{
 		g:         g,
 		costs:     costs,
 		heap:      heap,
 		maxCost:   costs.MaxCost(),
+		capAt:     capAt,
 		local:     local,
 		budget:    budget,
 		budgetCap: budget,
@@ -481,6 +496,108 @@ func (p *groundProvider) putWeights(ref hashKey, st opinion.State, oi int, rever
 		s.fwdW = w
 	}
 	return w
+}
+
+// rowGoals is the goal-pruned fan-out's provider fast path: it fills
+// out[j] = dist(src, targets[j]), serving, in preference order: an
+// exact retained tree sliced to the targets; a compact capped row
+// sliced the same way; for tracked reference states (the
+// delta-monitoring window, whose exact full rows earn their keep as
+// repair donors across ticks) the full row() path; and for untracked
+// reference states a fresh full run retained as a compact capped row —
+// Series and Matrix batches revisit their reference states, and at a
+// third of a tree's bytes the compact rows keep hitting at scales
+// where full-tree retention thrashed. ok is false once the budget is
+// spent (or compact rows are disabled): the caller then runs a
+// goal-pruned Dijkstra into its own scratch, retaining nothing.
+//
+// Values served from compact rows are saturated at capAt; the term
+// assembly saturates every distance it consumes at the same threshold,
+// so results are bit-identical to exact rows.
+func (p *groundProvider) rowGoals(ref hashKey, st opinion.State, op opinion.Opinion, reversed bool, src int32, w []int32, targets []int32, out []int64, sc *scratch) bool {
+	oi := opIdx(op)
+	tk := treeKey{reversed: reversed, src: src}
+	var row []int64
+	var crow []int32
+	tracked := false
+	p.mu.RLock()
+	if ent := p.refs[ref]; ent != nil {
+		tracked = ent.tracked
+		if tr := ent.side[oi].trees[tk]; tr != nil {
+			row = tr.dist
+		} else {
+			crow = ent.side[oi].rows[tk]
+		}
+	}
+	p.mu.RUnlock()
+	switch {
+	case row != nil:
+	case tracked:
+		// A tracked reference state builds (and retains) its exact
+		// trees even when a compact row from an earlier untracked life
+		// is cached: the trees are the repair donors the delta path
+		// derives the next tick's rows from, and serving the compact
+		// row instead would silently degrade every later Step to cold
+		// Dijkstras. The compact row remains only as the
+		// budget-exhausted fallback.
+		if full, ok := p.row(ref, st, op, reversed, src, w); ok {
+			row = full
+		} else if crow == nil {
+			return false
+		}
+	case crow == nil:
+		n := p.g.N()
+		if p.capAt <= 0 || p.capAt > math.MaxInt32 || !p.hasBudget(int64(n)*4) {
+			return false
+		}
+		srcGraph := p.g
+		if reversed {
+			srcGraph = p.g.Reverse()
+		}
+		sssp.DijkstraFrontierInto(srcGraph, w, int(src), p.heap, p.maxCost, &sc.res, &sc.fr)
+		c := make([]int32, n)
+		capAt := int32(p.capAt)
+		for v, d := range sc.res.Dist {
+			if d > p.capAt { // includes Unreachable
+				c[v] = capAt
+			} else {
+				c[v] = int32(d)
+			}
+		}
+		crow = p.putRow(ref, st, oi, tk, c)
+	}
+	if row != nil {
+		for j, t := range targets {
+			out[j] = row[t]
+		}
+		return true
+	}
+	for j, t := range targets {
+		out[j] = int64(crow[t])
+	}
+	return true
+}
+
+// putRow publishes a compact capped row (first writer wins) and
+// returns the published slice.
+func (p *groundProvider) putRow(ref hashKey, st opinion.State, oi int, tk treeKey, c []int32) []int32 {
+	cost := int64(len(c)) * 4
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ent := p.entryLocked(ref, st)
+	s := &ent.side[oi]
+	if s.rows == nil {
+		s.rows = make(map[treeKey][]int32)
+	}
+	if dup := s.rows[tk]; dup != nil {
+		return dup
+	}
+	if p.budget >= cost {
+		p.budget -= cost
+		ent.bytes += cost
+		s.rows[tk] = c
+	}
+	return c
 }
 
 // row returns the shortest-path distance row from src under (ref, op)

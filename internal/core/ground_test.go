@@ -34,7 +34,7 @@ func applyFlips(st opinion.State, k int, rng *rand.Rand) (opinion.State, []int32
 func TestProviderDeltaDerivationExact(t *testing.T) {
 	g := engineTestGraph(250, 21)
 	opts := DefaultOptions().withDefaults()
-	p := newGroundProvider(g, opts.Costs, opts.Heap, 8<<20)
+	p := newGroundProvider(g, opts.Costs, opts.Heap, 8<<20, infCost(g.N(), opts.Costs.MaxCost(), opts.EscapeHops))
 	rng := rand.New(rand.NewSource(33))
 	st := engineTestStates(g.N(), 1, 0, 23)[0]
 	// Seed the chain's first entry so derivations have an ancestor.
@@ -94,7 +94,7 @@ func TestProviderDeltaDerivationExact(t *testing.T) {
 func TestProviderWindowRetention(t *testing.T) {
 	g := engineTestGraph(120, 5)
 	opts := DefaultOptions().withDefaults()
-	p := newGroundProvider(g, opts.Costs, opts.Heap, 4<<20)
+	p := newGroundProvider(g, opts.Costs, opts.Heap, 4<<20, infCost(g.N(), opts.Costs.MaxCost(), opts.EscapeHops))
 	budget0 := p.budget
 	rng := rand.New(rand.NewSource(8))
 	st := engineTestStates(g.N(), 1, 0, 9)[0]
@@ -150,7 +150,7 @@ func TestProviderNonLocalModel(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Costs = opinion.DefaultGroundCosts(opinion.DefaultICC)
 	opts = opts.withDefaults()
-	p := newGroundProvider(g, opts.Costs, opts.Heap, 4<<20)
+	p := newGroundProvider(g, opts.Costs, opts.Heap, 4<<20, infCost(g.N(), opts.Costs.MaxCost(), opts.EscapeHops))
 	if p.local {
 		t.Fatal("ICC must not be treated as a local model")
 	}

@@ -118,7 +118,19 @@ type Options struct {
 	// Solver selects the min-cost-flow algorithm for fast engines.
 	Solver FlowSolver
 	// Heap selects the Dijkstra priority queue for the SSSP runs.
+	// pqueue.KindAuto (HeapAuto) resolves against the cost model's
+	// MaxCost when the options are applied: Dial's bucket queue while
+	// the edge-cost bound buckets cheaply, the radix heap beyond.
 	Heap pqueue.Kind
+	// NoGoalPrune disables the goal-pruned SSSP fan-out of the
+	// bipartite pipeline: every per-supplier run settles the whole
+	// graph (and the ground provider retains full rows for all of
+	// them), as the engine did before pruning existed. Distances are
+	// bit-identical either way — pruning is exact on the queried
+	// columns — so this exists for benchmarking (the sndbench sssp
+	// experiment measures pruned against unpruned) and as a validation
+	// lever for the exactness property tests.
+	NoGoalPrune bool
 	// Clusters optionally groups users for bank allocation (nil =
 	// one bank per user, the Theorem 4 setting).
 	Clusters []int
@@ -139,13 +151,19 @@ type Options struct {
 	EscapeHops int
 }
 
+// HeapAuto selects the Dijkstra queue by the cost model's edge-cost
+// bound: Dial's bucket queue while the bound is small (the Assumption 2
+// setting), the radix heap beyond (see Options.Heap).
+const HeapAuto = pqueue.KindAuto
+
 // DefaultOptions returns the configuration used by the paper's
-// experiments: agnostic ground costs, Dial's bucket-queue Dijkstra
-// (valid since Assumption 2 bounds the costs), automatic engine choice.
+// experiments: agnostic ground costs, automatic queue selection (Dial's
+// bucket queue under Assumption 2's small cost bound), automatic engine
+// choice.
 func DefaultOptions() Options {
 	return Options{
 		Costs: opinion.DefaultGroundCosts(opinion.DefaultAgnostic),
-		Heap:  pqueue.KindDial,
+		Heap:  HeapAuto,
 	}
 }
 
@@ -153,6 +171,10 @@ func (o Options) withDefaults() Options {
 	if o.Costs.Model == nil {
 		o.Costs = opinion.DefaultGroundCosts(opinion.DefaultAgnostic)
 	}
+	// Resolve HeapAuto once, here, so every downstream consumer — the
+	// SSSP fan-out, tree repair, the SSP flow solver — sees a concrete
+	// queue kind chosen against the model's true cost bound.
+	o.Heap = pqueue.Resolve(o.Heap, o.Costs.MaxCost())
 	if o.Gamma <= 0 {
 		o.Gamma = 1
 	}

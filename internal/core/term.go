@@ -142,6 +142,11 @@ type termCtx struct {
 	prov *groundProvider
 	// refHash fingerprints spec.ref; only meaningful when prov != nil.
 	refHash hashKey
+	// help, when non-nil, lets this term split its per-source SSSP
+	// fan-out into sub-tasks that idle engine workers steal. Row
+	// placement is fixed up front, so results are bit-identical to the
+	// sequential loop regardless of who computes which row.
+	help *helpPool
 }
 
 // cancelled returns the context error, tolerating the zero termCtx.
@@ -186,9 +191,12 @@ func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float6
 		// The bipartite pipeline wins while the reduced instance is
 		// small *relative to the network*: its cost is n-delta SSSP
 		// runs plus a flow over nS*(nC+banks) arcs, while the network
-		// engine pays for cost-scaling over the whole graph. Measured
-		// crossover: reduced instances beyond ~max(1000, n/4) nodes
-		// solve faster by routing through the network (EXPERIMENTS.md).
+		// engine pays for cost-scaling over the whole graph. Re-measured
+		// on the goal-pruned pipeline (BENCH_sssp.json crossover probe,
+		// |V| = 10000, uniformly scattered flips — the fan-out's worst
+		// case): bipartite wins at ~1900 reduced nodes (2.0s vs 3.1s)
+		// and loses at ~3300 (5.1s vs 3.2s), bracketing the crossover
+		// at roughly n/4; the pre-pruning constant still stands.
 		limit := n / 4
 		if limit < 1000 {
 			limit = 1000
@@ -219,55 +227,59 @@ func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float6
 // sit on the supplier side), then an integer min-cost flow over the
 // reduced bipartite instance.
 func termBipartite(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx) (float64, int, error) {
-	v, runs, _, _, err := termBipartiteNetwork(g, spec, red, o, tc)
+	v, runs, _, _, err := termBipartiteNetwork(g, spec, red, o, tc, false)
 	return v, runs, err
 }
 
 // termBipartiteNetwork is termBipartite exposing the solved flow
-// network and the user-level meaning of every arc, for Explain.
-func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx) (float64, int, *flow.Network, []arcRef, error) {
+// network and — when collectArcs is set (Explain) — the user-level
+// meaning of every arc. The engine path passes false, so no arc-ref
+// garbage is assembled per term.
+func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx, collectArcs bool) (float64, int, *flow.Network, []arcRef, error) {
 	maxCost := o.Costs.MaxCost()
 	inf := infCost(g.N(), maxCost, o.EscapeHops)
 
 	// dist(i, j) below means shortest path from supplier-side entity i
 	// to consumer-side entity j in the ground distance.
 	var srcGraph = g
-	sources := red.S
+	sources, opposite := red.S, red.C
 	reversed := red.banksOnSupplier
 	if reversed {
 		// Reverse runs: dist(x -> c) for every x, per consumer c.
 		srcGraph = g.Reverse()
-		sources = red.C
+		sources, opposite = red.C, red.S
 	}
 	srcW := tc.groundWeights(g, spec, o, reversed)
-	tc.sc.resetRows()
-	rows := make([][]int64, len(sources))
-	var localRes sssp.Result
-	res := &localRes
-	if tc.sc != nil {
-		res = &tc.sc.res
+
+	// The term consumes, per source, only the distances to the opposite
+	// side's residual users and to every bank member. Collect those as
+	// the target list the rows are indexed by: opposite users first
+	// (target j is opposite[j]), then each bank's members contiguously
+	// (bank b's members start at bankOff[b]). Everything past inf is
+	// saturated by capDist below, so the fan-out also never needs to
+	// settle beyond that radius — both prunes are exact on these
+	// columns.
+	targets := tc.sc.takeTargets(len(opposite))
+	targets = append(targets, opposite...)
+	bankOff := tc.sc.takeBankOff(len(red.banks))
+	for _, b := range red.banks {
+		bankOff = append(bankOff, int32(len(targets)))
+		targets = append(targets, b.members...)
 	}
-	for i, s := range sources {
-		if err := tc.cancelled(); err != nil {
-			return 0, 0, nil, nil, err
-		}
-		if tc.prov != nil {
-			// The provider serves the row by cache hit, by repairing an
-			// ancestor tree over the delta's dirty edges, or by a fresh
-			// Dijkstra it retains (with its parent tree) for future
-			// repairs. It declines only when its budget is spent.
-			if row, ok := tc.prov.row(tc.refHash, spec.ref, spec.op, reversed, s, srcW); ok {
-				rows[i] = row
-				continue
-			}
-		}
-		// No provider, or its budget is spent: compute fresh and keep
-		// the row in the worker's arena instead of allocating garbage
-		// per SSSP.
-		sssp.DijkstraInto(srcGraph, srcW, int(s), o.Heap, maxCost, res)
-		row := tc.sc.takeRow(len(res.Dist))
-		copy(row, res.Dist)
-		rows[i] = row
+
+	// Fix row placement up front (rows[i] belongs to sources[i]) so the
+	// fan-out can run in any order — sequentially, or split across idle
+	// workers — with bit-identical results.
+	tc.sc.resetRows()
+	rows := tc.sc.takeRowHeaders(len(sources))
+	for i := range rows {
+		rows[i] = tc.sc.takeRow(len(targets))
+	}
+	if tc.sc != nil {
+		tc.sc.targets, tc.sc.bankOff = targets, bankOff
+	}
+	if err := tc.fanOutRows(srcGraph, srcW, spec, o, sources, targets, rows, reversed, maxCost, inf); err != nil {
+		return 0, 0, nil, nil, err
 	}
 	capDist := func(d int64) int64 {
 		if d >= sssp.Unreachable || d > inf {
@@ -278,23 +290,19 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 	// distSC(i, j): ground distance from red.S[i] to red.C[j].
 	distSC := func(i, j int) int64 {
 		if red.banksOnSupplier {
-			return capDist(rows[j][red.S[i]])
+			return capDist(rows[j][i]) // target i is S[i] on reverse rows
 		}
-		return capDist(rows[i][red.C[j]])
+		return capDist(rows[i][j]) // target j is C[j] on forward rows
 	}
 	// bankDist(b, k): distance between bank b and the k-th entity on
 	// the opposite side (consumer C[k] when banks supply, supplier S[k]
-	// when banks consume).
+	// when banks consume); rows[k] is that entity's row either way, and
+	// bank b's members sit at targets [bankOff[b], bankOff[b]+len).
 	bankDist := func(b, k int) int64 {
 		best := inf
-		for _, v := range red.banks[b].members {
-			var d int64
-			if red.banksOnSupplier {
-				d = capDist(rows[k][v]) // dist(v -> C[k]) via reverse row of C[k]
-			} else {
-				d = capDist(rows[k][v]) // dist(S[k] -> v) via forward row of S[k]
-			}
-			if d < best {
+		off := int(bankOff[b])
+		for t := range red.banks[b].members {
+			if d := capDist(rows[k][off+t]); d < best {
 				best = d
 			}
 		}
@@ -322,7 +330,9 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 			for j := 0; j < nC; j++ {
 				c := distSC(i, j)
 				id := nw.AddArc(i, nS+nB+j, red.scale, c)
-				arcs = append(arcs, arcRef{id: id, from: int(red.S[i]), to: int(red.C[j]), cost: c})
+				if collectArcs {
+					arcs = append(arcs, arcRef{id: id, from: int(red.S[i]), to: int(red.C[j]), cost: c})
+				}
 			}
 		}
 		for b := 0; b < nB; b++ {
@@ -333,10 +343,12 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 				}
 				c := bankDist(b, j)
 				id := nw.AddArc(nS+b, nS+nB+j, capacity, c)
-				arcs = append(arcs, arcRef{
-					id: id, from: int(red.banks[b].members[0]), fromBank: true,
-					to: int(red.C[j]), cost: c,
-				})
+				if collectArcs {
+					arcs = append(arcs, arcRef{
+						id: id, from: int(red.banks[b].members[0]), fromBank: true,
+						to: int(red.C[j]), cost: c,
+					})
+				}
 			}
 		}
 	} else {
@@ -354,7 +366,9 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 			for j := 0; j < nC; j++ {
 				c := distSC(i, j)
 				id := nw.AddArc(i, nS+j, red.scale, c)
-				arcs = append(arcs, arcRef{id: id, from: int(red.S[i]), to: int(red.C[j]), cost: c})
+				if collectArcs {
+					arcs = append(arcs, arcRef{id: id, from: int(red.S[i]), to: int(red.C[j]), cost: c})
+				}
 			}
 			for b := 0; b < nB; b++ {
 				capacity := red.banks[b].units
@@ -363,10 +377,12 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 				}
 				c := bankDist(b, i)
 				id := nw.AddArc(i, nS+nC+b, capacity, c)
-				arcs = append(arcs, arcRef{
-					id: id, from: int(red.S[i]),
-					to: int(red.banks[b].members[0]), toBank: true, cost: c,
-				})
+				if collectArcs {
+					arcs = append(arcs, arcRef{
+						id: id, from: int(red.S[i]),
+						to: int(red.banks[b].members[0]), toBank: true, cost: c,
+					})
+				}
 			}
 		}
 	}
@@ -375,6 +391,69 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 		return 0, len(sources), nil, nil, err
 	}
 	return float64(cost) / float64(red.scale), len(sources), nw, arcs, nil
+}
+
+// fanOutRows fills rows[i] with the target-indexed ground-distance row
+// of sources[i]: by the provider's fast paths when one is attached, by
+// the goal-pruned Dijkstra (cut off at the saturation radius) on the
+// no-provider and budget-exhausted paths, and by a full-graph run when
+// o.NoGoalPrune pins the pre-pruning behavior. When a help pool is
+// present the loop is split into per-source sub-tasks idle workers
+// steal; placement is fixed by index, so the rows — and every
+// downstream bit — are identical to the sequential order.
+func (tc termCtx) fanOutRows(srcGraph *graph.Digraph, srcW []int32, spec termSpec, o Options, sources, targets []int32, rows [][]int64, reversed bool, maxCost, cutoff int64) error {
+	// A pruned search must settle a ball covering every target; once
+	// targets are plentiful relative to the graph that ball is the
+	// graph itself and the epoch-stamped search only adds per-edge
+	// overhead (measured ~10-30% on the delta workload's ~600
+	// scattered bank members), so past this density the fallback runs
+	// a plain full row and slices it. Either path is exact; the choice
+	// moves no bit.
+	pruneLimit := srcGraph.N() / 64
+	if pruneLimit < 64 {
+		pruneLimit = 64
+	}
+	prune := !o.NoGoalPrune && len(targets) <= pruneLimit
+	fill := func(sc *scratch, i int) {
+		s := sources[i]
+		out := rows[i]
+		if tc.prov != nil {
+			if !o.NoGoalPrune {
+				if tc.prov.rowGoals(tc.refHash, spec.ref, spec.op, reversed, s, srcW, targets, out, sc) {
+					return
+				}
+			} else if row, ok := tc.prov.row(tc.refHash, spec.ref, spec.op, reversed, s, srcW); ok {
+				for j, t := range targets {
+					out[j] = row[t]
+				}
+				return
+			}
+		}
+		if !prune {
+			// Unpruned: settle the whole graph into the worker's result
+			// buffer, then slice out the queried columns.
+			sssp.DijkstraFrontierInto(srcGraph, srcW, int(s), o.Heap, maxCost, &sc.res, &sc.fr)
+			for j, t := range targets {
+				out[j] = sc.res.Dist[t]
+			}
+			return
+		}
+		sssp.DijkstraGoalsInto(srcGraph, srcW, int(s), targets, o.Heap, maxCost, cutoff, out, &sc.goals)
+	}
+	owner := tc.sc
+	if owner == nil {
+		owner = &scratch{} // one-shot callers (Explain) carry no arena
+	}
+	if tc.help != nil && len(sources) > 1 {
+		return tc.help.runFanout(tc.ctx, owner, len(sources), fill)
+	}
+	for i := range sources {
+		if err := tc.cancelled(); err != nil {
+			return err
+		}
+		fill(owner, i)
+	}
+	return nil
 }
 
 // termNetwork routes the reduced instance through the social network
@@ -451,9 +530,13 @@ func bankUnits(red reduction) int64 {
 
 // solveNetwork dispatches to the configured min-cost-flow solver.
 // Small bipartite instances default to SSP (few augmentations); large
-// instances and network-routed ones to cost-scaling, which measured
-// ~25x faster on reduced instances with thousands of nodes. ctx (which
-// may be nil) lets the solvers abandon a cancelled request between flow
+// instances and network-routed ones to cost-scaling. Re-measured on the
+// pruned pipeline (BENCH_sssp.json crossover probe): cost-scaling beats
+// SSP 6x at ~1900 reduced nodes and 14x at ~3300, and is already level
+// by ~600 — the threshold below. Note that with singleton banks a
+// realistic active fraction pushes the instance past 600 nodes, so SSP
+// effectively serves only clustered-bank reductions. ctx (which may be
+// nil) lets the solvers abandon a cancelled request between flow
 // pushes.
 func solveNetwork(ctx context.Context, nw *flow.Network, o Options, maxArcCost int64, bipartite bool) (int64, error) {
 	solver := o.Solver

@@ -51,7 +51,31 @@ const (
 	KindDial
 	// KindRadix selects the monotone radix heap.
 	KindRadix
+	// KindAuto picks the queue from the edge-cost bound: Dial's bucket
+	// queue while the bound is small enough to bucket cheaply (its
+	// memory and per-Reset cost are O(maxEdgeCost)), the radix heap
+	// beyond. By selecting KindAuto the caller vouches, exactly as with
+	// KindDial, that maxEdgeCost truly bounds every edge cost.
+	KindAuto
 )
+
+// autoDialLimit is the largest edge-cost bound for which KindAuto still
+// buckets: past it Dial's O(maxEdgeCost) empty-bucket scans and Reset
+// cost outweigh the O(1) pushes (measured in BENCH_sssp.json; the SND
+// ground costs of Assumption 2 sit far below it).
+const autoDialLimit = 4096
+
+// Resolve maps KindAuto to a concrete queue kind for the given
+// edge-cost bound; other kinds pass through unchanged.
+func Resolve(k Kind, maxEdgeCost int64) Kind {
+	if k != KindAuto {
+		return k
+	}
+	if maxEdgeCost >= 1 && maxEdgeCost <= autoDialLimit {
+		return KindDial
+	}
+	return KindRadix
+}
 
 // String returns the queue kind name.
 func (k Kind) String() string {
@@ -62,16 +86,18 @@ func (k Kind) String() string {
 		return "dial"
 	case KindRadix:
 		return "radix"
+	case KindAuto:
+		return "auto"
 	default:
 		return "unknown"
 	}
 }
 
 // New constructs a queue of the given kind. maxEdgeCost bounds the key
-// spread and is required by KindDial (ignored by the other kinds);
-// hintItems sizes internal storage.
+// spread and is required by KindDial and KindAuto (ignored by the other
+// kinds); hintItems sizes internal storage.
 func New(k Kind, maxEdgeCost int64, hintItems int) MinQueue {
-	switch k {
+	switch Resolve(k, maxEdgeCost) {
 	case KindDial:
 		return NewDial(maxEdgeCost, hintItems)
 	case KindRadix:

@@ -1,0 +1,68 @@
+package sssp
+
+import "snd/internal/pqueue"
+
+// Frontier pools the priority queues the shortest-path runs of this
+// package draw from — full Dijkstra, the goal-pruned Dijkstra of
+// DijkstraGoalsInto, and the re-settling pass of RepairInto — so hot
+// paths stop paying a queue allocation (for Dial, O(maxEdgeCost) bucket
+// headers) per single-source run. The zero value is ready to use; a
+// Frontier must not be shared between concurrent runs.
+type Frontier struct {
+	heap  *pqueue.BinaryHeap
+	radix *pqueue.Radix
+	dial  *pqueue.Dial
+	dialC int64
+}
+
+// binary returns the pooled binary heap, reset. It backs callers that
+// need no monotone invariant (e.g. RepairInto's candidate resolution).
+func (f *Frontier) binary() *pqueue.BinaryHeap {
+	if f.heap == nil {
+		f.heap = pqueue.NewBinaryHeap(64)
+	}
+	f.heap.Reset()
+	return f.heap
+}
+
+// acquire returns a reset queue for a monotone run seeded with keys
+// spanning [minSeed, minSeed+spread] whose relaxations each add at most
+// maxCost. Plain Dijkstra-from-one-source callers pass spread 0.
+//
+// Dial's invariant (pending keys within [last, last+C]) only holds
+// after shifting keys down by the minimum seed and sizing the bucket
+// window to cover the seed spread plus one edge relaxation; shift
+// reports whether the caller must apply that shift (true only when the
+// returned queue is a Dial). When the required window is too wide to
+// bucket — or kind, after KindAuto resolution against maxCost, selects
+// another queue — the radix heap or binary heap (which need no such
+// invariant) serves instead. The Dial is pooled at the largest window
+// seen (rounded up to amortize regrowth); the other queues are reused
+// as-is.
+func (f *Frontier) acquire(kind pqueue.Kind, spread, maxCost int64, n int) (q pqueue.MinQueue, shift bool) {
+	kind = pqueue.Resolve(kind, maxCost)
+	c := spread + maxCost
+	// Dial is only sound when maxCost truly bounds every edge cost,
+	// which the caller vouches for by selecting KindDial or KindAuto
+	// (for the other kinds maxCost is advisory, per DijkstraInto).
+	if kind == pqueue.KindDial && c <= 4*int64(n)+64 {
+		if f.dial == nil || f.dialC < c {
+			grow := 2 * f.dialC
+			if grow < c {
+				grow = c
+			}
+			f.dial = pqueue.NewDial(grow, 64)
+			f.dialC = grow
+		}
+		f.dial.Reset()
+		return f.dial, true
+	}
+	if kind == pqueue.KindRadix {
+		if f.radix == nil {
+			f.radix = pqueue.NewRadix(64)
+		}
+		f.radix.Reset()
+		return f.radix, false
+	}
+	return f.binary(), false
+}

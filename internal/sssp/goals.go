@@ -1,0 +1,138 @@
+package sssp
+
+import (
+	"snd/internal/graph"
+	"snd/internal/pqueue"
+)
+
+// GoalsScratch holds the reusable buffers of DijkstraGoalsInto: the
+// epoch-stamped distance labels (so a run never pays an O(n) clear —
+// its cost scales with the region it actually explores), the target
+// marks, and the pooled frontier queues. One scratch serves any number
+// of runs over graphs of any size; the zero value is ready to use. A
+// GoalsScratch must not be shared between concurrent runs.
+type GoalsScratch struct {
+	fr     Frontier
+	dist   []int64
+	seen   []int32 // epoch mark: dist[v] is a valid label this run
+	target []int32 // epoch mark: v is a queried target this run
+	done   []int32 // epoch mark: target v was settled this run
+	epoch  int32
+}
+
+func (gs *GoalsScratch) ensure(n int) {
+	if len(gs.dist) < n {
+		gs.dist = make([]int64, n)
+		gs.seen = make([]int32, n)
+		gs.target = make([]int32, n)
+		gs.done = make([]int32, n)
+		gs.epoch = 0
+	}
+	gs.epoch++
+	if gs.epoch == 0 { // wrapped: stamps are stale-but-nonzero, reset
+		for i := range gs.seen {
+			gs.seen[i] = 0
+			gs.target[i] = 0
+			gs.done[i] = 0
+		}
+		gs.epoch = 1
+	}
+}
+
+// DijkstraGoals is DijkstraGoalsInto allocating its own result row and
+// scratch; intended for tests and one-off callers.
+func DijkstraGoals(g *graph.Digraph, w []int32, src int, targets []int32, kind pqueue.Kind, maxCost, cutoff int64) []int64 {
+	out := make([]int64, len(targets))
+	DijkstraGoalsInto(g, w, src, targets, kind, maxCost, cutoff, out, &GoalsScratch{})
+	return out
+}
+
+// DijkstraGoalsInto runs a goal-set-pruned Dijkstra from src: the
+// search stops as soon as every queried target is settled (or the
+// frontier minimum exceeds cutoff), and out — aligned with targets —
+// receives out[i] = dist(src, targets[i]). Settled labels are exact, so
+// on every queried column the result is provably identical to the full
+// row a DijkstraInto from src would produce, while the work scales with
+// the ball that covers the targets rather than the graph. This is the
+// Theorem 4 fan-out's hot path: per EMD* term only the distances from
+// each residual supplier to the residual consumers and bank members are
+// consumed, so settling anything further is waste.
+//
+// cutoff prunes the search radius: a target whose distance exceeds
+// cutoff is reported Unreachable (pass Unreachable to disable). Callers
+// that saturate long distances anyway — the term pipeline caps
+// everything beyond its escape cost — lose nothing by also not walking
+// them. Duplicate targets are tolerated (each output index is filled
+// independently), as is src itself appearing as a target.
+//
+// maxCost must bound every edge cost when kind is (or resolves to)
+// pqueue.KindDial; it is otherwise advisory, as with DijkstraInto.
+func DijkstraGoalsInto(g *graph.Digraph, w []int32, src int, targets []int32, kind pqueue.Kind, maxCost, cutoff int64, out []int64, gs *GoalsScratch) {
+	n := g.N()
+	if len(w) != g.M() {
+		panic("sssp: weight array not aligned with graph edges")
+	}
+	if src < 0 || src >= n {
+		panic("sssp: source out of range")
+	}
+	if len(out) != len(targets) {
+		panic("sssp: output row not aligned with targets")
+	}
+	if gs == nil {
+		gs = &GoalsScratch{}
+	}
+	gs.ensure(n)
+	epoch := gs.epoch
+	dist, seen, target, done := gs.dist, gs.seen, gs.target, gs.done
+	remaining := 0
+	for _, t := range targets {
+		if target[t] != epoch {
+			target[t] = epoch
+			remaining++
+		}
+	}
+	q, _ := gs.fr.acquire(kind, 0, maxCost, n)
+	dist[src] = 0
+	seen[src] = epoch
+	if remaining > 0 && cutoff >= 0 {
+		q.Push(src, 0)
+	}
+	for remaining > 0 {
+		u, key, ok := q.Pop()
+		if !ok {
+			break // every reachable vertex is settled
+		}
+		if key > cutoff {
+			break // all remaining targets lie beyond the cutoff
+		}
+		if key > dist[u] {
+			continue // stale lazy-deletion entry
+		}
+		if target[u] == epoch && done[u] != epoch {
+			done[u] = epoch
+			remaining--
+			if remaining == 0 {
+				break // settling u's neighbors cannot change any target
+			}
+		}
+		lo, hi := g.EdgeRange(u)
+		for e := lo; e < hi; e++ {
+			v := g.Head(e)
+			nd := key + int64(w[e])
+			if seen[v] != epoch || nd < dist[v] {
+				seen[v] = epoch
+				dist[v] = nd
+				if nd <= cutoff {
+					q.Push(int(v), nd)
+				}
+			}
+		}
+	}
+	for i, t := range targets {
+		if done[t] == epoch {
+			out[i] = dist[t]
+		} else {
+			out[i] = Unreachable
+		}
+	}
+}

@@ -6,10 +6,10 @@ import (
 )
 
 // RepairScratch holds the reusable buffers of RepairInto: epoch-stamped
-// affected marks, the work queue, and the affected-vertex list. One
-// scratch serves any number of repairs over graphs of any size; the
-// zero value is ready to use. A RepairScratch must not be shared
-// between concurrent repairs.
+// affected marks, the pooled frontier queues, and the affected-vertex
+// list. One scratch serves any number of repairs over graphs of any
+// size; the zero value is ready to use. A RepairScratch must not be
+// shared between concurrent repairs.
 type RepairScratch struct {
 	stamp    []int32 // epoch mark: vertex is invalidated (affected)
 	decided  []int32 // epoch mark: vertex's invalidation was resolved
@@ -17,9 +17,9 @@ type RepairScratch struct {
 	affected []int32
 	seedItem []int32
 	seedKey  []int64
-	queue    *pqueue.BinaryHeap
-	dial     *pqueue.Dial
-	dialC    int64
+	// fr pools the candidate heap and the re-settling frontier (the
+	// shared Dial/radix/binary selection of bucket.go).
+	fr Frontier
 }
 
 func (rs *RepairScratch) ensure(n int) {
@@ -39,42 +39,6 @@ func (rs *RepairScratch) ensure(n int) {
 	rs.affected = rs.affected[:0]
 	rs.seedItem = rs.seedItem[:0]
 	rs.seedKey = rs.seedKey[:0]
-	if rs.queue == nil {
-		rs.queue = pqueue.NewBinaryHeap(64)
-	}
-	rs.queue.Reset()
-}
-
-// frontierQueue picks the queue for the re-settling pass. Seed keys are
-// not monotone, so Dial's invariant (pending keys within [last, last+C])
-// only holds after shifting keys by the minimum seed and sizing the
-// spread to cover the seeds plus one edge relaxation; when that spread
-// is too wide to bucket, the binary heap (which needs no invariant)
-// serves instead. Queues are pooled on the scratch: Dial grows to the
-// largest spread seen (rounded up to amortize), the heap is reused
-// as-is.
-func (rs *RepairScratch) frontierQueue(kind pqueue.Kind, spread, maxCost int64, n int) (q pqueue.MinQueue, shift bool) {
-	c := spread + maxCost
-	// Dial is only sound when maxCost truly bounds every edge cost,
-	// which the caller vouches for by selecting KindDial (for the other
-	// kinds maxCost is advisory, per DijkstraInto).
-	if kind != pqueue.KindDial || c > 4*int64(n)+64 {
-		if rs.queue == nil {
-			rs.queue = pqueue.NewBinaryHeap(64)
-		}
-		rs.queue.Reset()
-		return rs.queue, false
-	}
-	if rs.dial == nil || rs.dialC < c {
-		grow := 2 * rs.dialC
-		if grow < c {
-			grow = c
-		}
-		rs.dial = pqueue.NewDial(grow, 64)
-		rs.dialC = grow
-	}
-	rs.dial.Reset()
-	return rs.dial, true
 }
 
 // RepairInto updates res — which must hold a valid shortest-path result
@@ -126,12 +90,12 @@ func RepairInto(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCost 
 	if changedTails != nil && len(changedTails) != len(changed) {
 		panic("sssp: changedTails not aligned with changed")
 	}
-	if maxAffected <= 0 {
-		DijkstraInto(g, w, src, kind, maxCost, res)
-		return false
-	}
 	if rs == nil {
 		rs = &RepairScratch{}
+	}
+	if maxAffected <= 0 {
+		DijkstraFrontierInto(g, w, src, kind, maxCost, res, &rs.fr)
+		return false
 	}
 	rs.ensure(n)
 	dist, parent := res.Dist, res.Parent
@@ -145,7 +109,7 @@ func RepairInto(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCost 
 
 	// Phase 1: invalidation roots — vertices whose tree edge increased,
 	// so their label is no longer supported by its parent.
-	cand := rs.queue
+	cand := rs.fr.binary()
 	decided := rs.decided
 	for i, e := range changed {
 		v := g.Head(int(e))
@@ -200,7 +164,7 @@ func RepairInto(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCost 
 		aff = append(aff, v)
 		if len(aff) > maxAffected {
 			rs.affected = aff
-			DijkstraInto(g, w, src, kind, maxCost, res)
+			DijkstraFrontierInto(g, w, src, kind, maxCost, res, &rs.fr)
 			return false
 		}
 		lo, hi := g.EdgeRange(vi)
@@ -278,7 +242,7 @@ func RepairInto(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCost 
 			maxSeed = k
 		}
 	}
-	q, shifted := rs.frontierQueue(kind, maxSeed-minSeed, maxCost, n)
+	q, shifted := rs.fr.acquire(kind, maxSeed-minSeed, maxCost, n)
 	var shift int64
 	if shifted {
 		shift = minSeed

@@ -46,9 +46,17 @@ func Dijkstra(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCost in
 }
 
 // DijkstraInto is Dijkstra reusing caller-provided storage in res; the
-// slices are resized as needed. This is the hot path of the Theorem 4
-// pipeline, which runs n-delta single-source computations per EMD* term.
+// slices are resized as needed. The queue is allocated per call; hot
+// paths pass a pooled Frontier via DijkstraFrontierInto instead.
 func DijkstraInto(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCost int64, res *Result) {
+	DijkstraFrontierInto(g, w, src, kind, maxCost, res, &Frontier{})
+}
+
+// DijkstraFrontierInto is DijkstraInto drawing its priority queue from
+// the caller's pooled Frontier, so repeated single-source runs (the
+// Theorem 4 pipeline charges one per residual supplier) allocate no
+// queue storage after warmup.
+func DijkstraFrontierInto(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCost int64, res *Result, fr *Frontier) {
 	n := g.N()
 	if len(w) != g.M() {
 		panic("sssp: weight array not aligned with graph edges")
@@ -63,7 +71,7 @@ func DijkstraInto(g *graph.Digraph, w []int32, src int, kind pqueue.Kind, maxCos
 		dist[i] = Unreachable
 		parent[i] = -1
 	}
-	q := pqueue.New(kind, maxCost, n)
+	q, _ := fr.acquire(kind, 0, maxCost, n)
 	dist[src] = 0
 	q.Push(src, 0)
 	for {
@@ -170,8 +178,9 @@ func Johnson(g *graph.Digraph, w []int32, kind pqueue.Kind, maxCost int64) [][]i
 	n := g.N()
 	d := make([][]int64, n)
 	var res Result
+	var fr Frontier
 	for u := 0; u < n; u++ {
-		DijkstraInto(g, w, u, kind, maxCost, &res)
+		DijkstraFrontierInto(g, w, u, kind, maxCost, &res, &fr)
 		row := make([]int64, n)
 		copy(row, res.Dist)
 		d[u] = row

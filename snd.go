@@ -15,6 +15,7 @@ import (
 	"snd/internal/emd"
 	"snd/internal/graph"
 	"snd/internal/opinion"
+	"snd/internal/pqueue"
 	"snd/internal/predict"
 	"snd/internal/search"
 )
@@ -95,6 +96,21 @@ const (
 	FlowAuto        = core.FlowAuto
 	FlowSSP         = core.FlowSSP
 	FlowCostScaling = core.FlowCostScaling
+)
+
+// HeapKind selects the Dijkstra priority queue for the SSSP runs (see
+// Options.Heap).
+type HeapKind = pqueue.Kind
+
+// The available queues: HeapAuto picks by the cost model's edge-cost
+// bound — Dial's bucket queue while the bound buckets cheaply (the
+// Assumption 2 setting), the radix heap beyond. The zero value is the
+// binary heap, matching the paper's released implementation.
+const (
+	HeapBinary = pqueue.KindBinary
+	HeapDial   = pqueue.KindDial
+	HeapRadix  = pqueue.KindRadix
+	HeapAuto   = pqueue.KindAuto
 )
 
 // Engine is a reusable, concurrency-safe SND compute layer over one
