@@ -156,3 +156,71 @@ func TestClusterLabelFacades(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestScreenedSearchMatchesExhaustiveAPI pins the bounds-first public
+// surface — screened NearestNeighbors and the deduplicating Matrix —
+// bit-identical to the NoBounds/NoWarmStart (exhaustive) pipeline.
+func TestScreenedSearchMatchesExhaustiveAPI(t *testing.T) {
+	g := ScaleFreeGraph(ScaleFreeConfig{N: 300, OutDeg: 4, Exponent: -2.3, Reciprocity: 0.3, Seed: 5})
+	rng := rand.New(rand.NewSource(6))
+	base := NewState(g.N())
+	for i := range base {
+		if rng.Float64() < 0.25 {
+			base[i] = Opinion(1 - 2*rng.Intn(2))
+		}
+	}
+	var states []State
+	cur := base
+	for i := 0; i < 8; i++ {
+		cur = cur.Clone()
+		for f := 0; f < 6; f++ {
+			cur[rng.Intn(g.N())] = Opinion(rng.Intn(3) - 1)
+		}
+		states = append(states, cur)
+	}
+	states = append(states, states[2].Clone()) // duplicate snapshot
+
+	exOpts := DefaultOptions()
+	exOpts.NoBounds = true
+	exOpts.NoWarmStart = true
+	exNet := NewNetwork(g, exOpts, EngineConfig{})
+	defer exNet.Close()
+	scNet := NewNetwork(g, DefaultOptions(), EngineConfig{})
+	defer scNet.Close()
+
+	ctx := context.Background()
+	query := base.Clone()
+	for f := 0; f < 10; f++ {
+		query[rng.Intn(g.N())] = Opinion(rng.Intn(3) - 1)
+	}
+	for _, k := range []int{1, 3} {
+		want, err := exNet.Index(states).NearestNeighbors(ctx, query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := scNet.Index(states).NearestNeighbors(ctx, query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d neighbor %d: screened %+v != exhaustive %+v", k, i, got[i], want[i])
+			}
+		}
+	}
+	wantM, err := exNet.Matrix(ctx, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := scNet.Matrix(ctx, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantM {
+		for j := range wantM[i] {
+			if gotM[i][j] != wantM[i][j] {
+				t.Fatalf("matrix (%d,%d): screened %v != exhaustive %v", i, j, gotM[i][j], wantM[i][j])
+			}
+		}
+	}
+}

@@ -90,6 +90,12 @@ func runDelta(sc scale, seed int64) {
 	// mass-mismatch flow stays proportional to the cluster count
 	// rather than the active-user count.
 	opts.Clusters = snd.BFSClusterLabels(g, 64)
+	// Pin warm starts and bound screening off: this experiment isolates
+	// the delta patch/repair path, and the term-level gates would blur
+	// what each tick actually recomputes (the flow experiment measures
+	// them).
+	opts.NoWarmStart = true
+	opts.NoBounds = true
 	warm := snd.NewNetwork(g, opts, snd.EngineConfig{})
 	defer warm.Close()
 	full := snd.NewNetwork(g, opts, snd.EngineConfig{})

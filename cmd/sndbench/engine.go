@@ -48,6 +48,12 @@ func runEngine(sc scale, seed int64) {
 		states[i] = ev.StepSample(n/20, 0.15, 0.01)
 	}
 	opts := snd.DefaultOptions()
+	// This experiment measures the worker pool + scratch/cache reuse
+	// factor; warm-started solves and bound screening would let the
+	// second (measured) Series pass skip the work entirely, so they are
+	// pinned off here — the flow experiment measures them.
+	opts.NoWarmStart = true
+	opts.NoBounds = true
 
 	start := time.Now()
 	seq := make([]float64, 0, count-1)

@@ -1,0 +1,334 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"snd"
+)
+
+type flowSnapshot struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+
+	Users  int `json:"users"`
+	Edges  int `json:"edges"`
+	States int `json:"states"`
+	// Flow stage of the warm-path (second pass) Series: the PR 4 cold
+	// pipeline (NoWarmStart + NoBounds) against warm-started solves.
+	ColdFlowSeconds float64 `json:"cold_flow_seconds"`
+	WarmFlowSeconds float64 `json:"warm_flow_seconds"`
+	// WarmFlowElided marks a warm flow stage below clock resolution
+	// (every term served from a retained basis): WarmFlowSpeedup is
+	// then the cold stage over a 1 microsecond floor, a lower bound on
+	// the true ratio rather than a measurement.
+	WarmFlowElided   bool    `json:"warm_flow_elided"`
+	WarmFlowSpeedup  float64 `json:"warm_flow_speedup"`
+	ColdPass2Seconds float64 `json:"cold_pass2_seconds"`
+	WarmPass2Seconds float64 `json:"warm_pass2_seconds"`
+	Pass2Speedup     float64 `json:"pass2_speedup"`
+	WarmExactTerms   int64   `json:"warm_exact_terms"`
+	WarmSolvedTerms  int64   `json:"warm_solved_terms"`
+	BoundGatedTerms  int64   `json:"bound_gated_terms"`
+	ColdFlowSolves   int64   `json:"cold_flow_solves"`
+	SeriesChecksum   float64 `json:"series_checksum"`
+
+	// Transplant path: a fixed query against a drifting state.
+	TransplantUsers       int     `json:"transplant_users"`
+	TransplantTicks       int     `json:"transplant_ticks"`
+	TransplantColdSeconds float64 `json:"transplant_cold_seconds"`
+	TransplantWarmSeconds float64 `json:"transplant_warm_seconds"`
+	TransplantSpeedup     float64 `json:"transplant_speedup"`
+	TransplantWarmSolved  int64   `json:"transplant_warm_solved"`
+
+	// Bound screening hit rates (exact results pinned identical).
+	NNStates          int     `json:"nn_states"`
+	NNK               int     `json:"nn_k"`
+	NNExhaustivePairs int64   `json:"nn_exhaustive_pairs"`
+	NNScreenedPairs   int64   `json:"nn_screened_pairs"`
+	NNScreenHitRate   float64 `json:"nn_screen_hit_rate"`
+
+	MatrixStates       int     `json:"matrix_states"`
+	MatrixPairsDecided int64   `json:"matrix_pairs_decided"`
+	MatrixBoundTerms   int64   `json:"matrix_bound_gated_terms"`
+	MatrixTerms        int64   `json:"matrix_terms"`
+	MatrixBoundHitRate float64 `json:"matrix_bound_hit_rate"`
+	MatrixChecksum     float64 `json:"matrix_checksum"`
+}
+
+// runFlow measures the flow-stage work this PR attacks: (1) the
+// acceptance workload — the n = 20000 Series whose SSSP cost PR 4
+// collapsed, now re-run with warm-started transportation solves
+// against the pinned PR 4 cold path (NoWarmStart + NoBounds), flow
+// stage isolated via the engine's phase stats; (2) the transplant path
+// on a monitoring workload (fixed query, drifting state); (3) the
+// lower-bound screening hit rates on Matrix and nearest-neighbor
+// traffic. Every screened or warm result is verified identical to its
+// exhaustive/cold counterpart before anything is reported.
+func runFlow(sc scale, seed int64) {
+	ctx := context.Background()
+	n, count := sc.ssspN, sc.ssspStates
+	g := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: n, OutDeg: 6, Exponent: -2.3, Reciprocity: 0.2, Seed: seed + 110,
+	})
+	ev := snd.NewEvolution(g, n/10, seed+111)
+	states := make([]snd.State, count)
+	for i := range states {
+		states[i] = ev.StepSample(n/20, 0.15, 0.01)
+	}
+	clusters := snd.BFSClusterLabels(g, 64)
+	fmt.Printf("flow stage: warm-started solves + bound screening, |V| = %d, |E| = %d, %d states, 1 worker\n\n",
+		g.N(), g.M(), count)
+
+	// (1) Series, flow stage isolated. Pass 1 populates the SSSP/row
+	// caches (and, on the warm engine, the solved bases); pass 2 is the
+	// warm path whose flow stage the acceptance criterion compares.
+	type seriesRun struct {
+		out             []float64
+		flow, pass2     time.Duration
+		exact, solved   int64
+		gated, coldSolv int64
+	}
+	series := func(opts snd.Options) seriesRun {
+		opts.Clusters = clusters
+		nw := snd.NewNetwork(g, opts, snd.EngineConfig{Workers: 1})
+		defer nw.Close()
+		if _, err := nw.Series(ctx, states); err != nil {
+			fatalf("flow series pass 1: %v", err)
+		}
+		s0 := nw.Engine().Stats()
+		start := time.Now()
+		out, err := nw.Series(ctx, states)
+		if err != nil {
+			fatalf("flow series pass 2: %v", err)
+		}
+		s1 := nw.Engine().Stats()
+		return seriesRun{
+			out:      out,
+			flow:     s1.FlowTime - s0.FlowTime,
+			pass2:    time.Since(start),
+			exact:    s1.TermsWarmExact - s0.TermsWarmExact,
+			solved:   s1.TermsWarmSolved - s0.TermsWarmSolved,
+			gated:    s1.TermsBoundDecided - s0.TermsBoundDecided,
+			coldSolv: s1.FlowSolves - s0.FlowSolves,
+		}
+	}
+	coldOpts := snd.DefaultOptions()
+	coldOpts.NoWarmStart = true
+	coldOpts.NoBounds = true
+	cold := series(coldOpts)
+	warm := series(snd.DefaultOptions())
+	var checksum float64
+	for i := range cold.out {
+		if warm.out[i] != cold.out[i] {
+			fatalf("flow series step %d diverged: cold %v, warm %v", i, cold.out[i], warm.out[i])
+		}
+		checksum += cold.out[i]
+	}
+	warmFlow := warm.flow
+	flowElided := warmFlow < time.Microsecond
+	if flowElided {
+		warmFlow = time.Microsecond // stage fully served from retained bases
+	}
+	flowSpeedup := cold.flow.Seconds() / warmFlow.Seconds()
+	fmt.Printf("%-38s %v\n", "flow stage, PR 4 cold path (pass 2)", cold.flow.Round(time.Microsecond))
+	fmt.Printf("%-38s %v\n", "flow stage, warm-started (pass 2)", warm.flow.Round(time.Microsecond))
+	if flowElided {
+		fmt.Printf("%-38s >= %.0fx (stage fully elided; ratio vs 1µs floor)\n", "warm-solve flow-stage speedup", flowSpeedup)
+	} else {
+		fmt.Printf("%-38s %.1fx\n", "warm-solve flow-stage speedup", flowSpeedup)
+	}
+	fmt.Printf("%-38s %v -> %v (%.2fx)\n", "whole pass 2",
+		cold.pass2.Round(time.Millisecond), warm.pass2.Round(time.Millisecond),
+		cold.pass2.Seconds()/warm.pass2.Seconds())
+	fmt.Printf("%-38s exact %d, transplanted %d, bound-gated %d (of %d terms)\n",
+		"warm pass 2 terms", warm.exact, warm.solved, warm.gated, 4*(len(states)-1))
+	fmt.Printf("%-38s %.3f (identical cold/warm)\n\n", "series checksum", checksum)
+
+	// (2) Transplant path: monitoring traffic — one fixed query state
+	// against a state drifting by a few users per tick, so consecutive
+	// term instances overlap almost entirely but never exactly repeat.
+	tn := n / 4
+	tg := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: tn, OutDeg: 6, Exponent: -2.3, Reciprocity: 0.2, Seed: seed + 112,
+	})
+	tev := snd.NewEvolution(tg, tn/10, seed+113)
+	query := tev.StepSample(tn/20, 0.2, 0.01)
+	base := tev.StepSample(tn/20, 0.2, 0.01)
+	ticks := 30
+	rng := rand.New(rand.NewSource(seed + 114))
+	drift := make([]snd.State, ticks)
+	cur := base
+	for i := range drift {
+		cur = cur.Clone()
+		flipped := 0
+		for flipped < 8 { // a small tick: 8 users drift
+			u := rng.Intn(tn)
+			op := snd.Opinion(rng.Intn(3) - 1)
+			if cur[u] != op {
+				cur[u] = op
+				flipped++
+			}
+		}
+		drift[i] = cur
+	}
+	monitor := func(opts snd.Options) (time.Duration, int64, []float64) {
+		nw := snd.NewNetwork(tg, opts, snd.EngineConfig{Workers: 1})
+		defer nw.Close()
+		out := make([]float64, ticks)
+		start := time.Now()
+		for i, st := range drift {
+			r, err := nw.Distance(ctx, query, st)
+			if err != nil {
+				fatalf("flow transplant tick %d: %v", i, err)
+			}
+			out[i] = r.SND
+		}
+		return time.Since(start), nw.Engine().Stats().TermsWarmSolved, out
+	}
+	coldDur, _, coldVals := monitor(coldOpts)
+	warmDur, warmSolved, warmVals := monitor(snd.DefaultOptions())
+	for i := range coldVals {
+		if coldVals[i] != warmVals[i] {
+			fatalf("flow transplant tick %d diverged: cold %v, warm %v", i, coldVals[i], warmVals[i])
+		}
+	}
+	transplantSpeedup := coldDur.Seconds() / warmDur.Seconds()
+	fmt.Printf("transplant monitoring (|V| = %d, %d ticks, 8-user drift):\n", tn, ticks)
+	fmt.Printf("%-38s %v -> %v (%.2fx), %d transplanted terms\n\n", "cold -> warm",
+		coldDur.Round(time.Millisecond), warmDur.Round(time.Millisecond), transplantSpeedup, warmSolved)
+
+	// (3a) Nearest-neighbor screening over an indexed state history.
+	// Two scans per configuration: the first warms the provider's rows
+	// (a monitoring session queries repeatedly), the second is the
+	// steady state whose exact-evaluation count the hit rate reports.
+	nnStates := drift
+	k := 5
+	nnScan := func(opts snd.Options) ([]snd.StateNeighbor, int64) {
+		nw := snd.NewNetwork(tg, opts, snd.EngineConfig{Workers: 1})
+		defer nw.Close()
+		ix := nw.Index(nnStates)
+		first, err := ix.NearestNeighbors(ctx, query, k)
+		if err != nil {
+			fatalf("flow nn warmup: %v", err)
+		}
+		before := nw.Engine().Stats().Pairs
+		nn, err := ix.NearestNeighbors(ctx, query, k)
+		if err != nil {
+			fatalf("flow nn: %v", err)
+		}
+		for i := range first {
+			if first[i] != nn[i] {
+				fatalf("flow nn scan instability at neighbor %d", i)
+			}
+		}
+		return nn, nw.Engine().Stats().Pairs - before
+	}
+	exNN, exPairs := nnScan(coldOpts)
+	scNN, scPairs := nnScan(snd.DefaultOptions())
+	for i := range exNN {
+		if exNN[i] != scNN[i] {
+			fatalf("flow nn neighbor %d diverged: exhaustive %+v, screened %+v", i, exNN[i], scNN[i])
+		}
+	}
+	nnHit := 1 - float64(scPairs)/float64(exPairs)
+	fmt.Printf("nearest-neighbor screening (%d states, k = %d):\n", len(nnStates), k)
+	fmt.Printf("%-38s %d -> %d exact pairs (%.0f%% screened out)\n\n", "exhaustive -> bounds-first",
+		exPairs, scPairs, 100*nnHit)
+
+	// (3b) Matrix screening: a snapshot history with stagnant ticks
+	// (duplicate states), bound-gated terms inside the distinct pairs.
+	mStates := append([]snd.State{}, drift[:8]...)
+	mStates = append(mStates, drift[2], drift[5], drift[2]) // stagnant re-snapshots
+	matrix := func(opts snd.Options) ([][]float64, snd.EngineStats) {
+		nw := snd.NewNetwork(tg, opts, snd.EngineConfig{Workers: 1})
+		defer nw.Close()
+		m, err := nw.Matrix(ctx, mStates)
+		if err != nil {
+			fatalf("flow matrix: %v", err)
+		}
+		return m, nw.Engine().Stats()
+	}
+	exM, _ := matrix(coldOpts)
+	scM, scStats := matrix(snd.DefaultOptions())
+	var mChecksum float64
+	for i := range exM {
+		for j := range exM[i] {
+			if exM[i][j] != scM[i][j] {
+				fatalf("flow matrix (%d,%d) diverged: exhaustive %v, screened %v", i, j, exM[i][j], scM[i][j])
+			}
+			mChecksum += exM[i][j]
+		}
+	}
+	mHit := 0.0
+	if scStats.Terms > 0 {
+		mHit = float64(scStats.TermsBoundDecided+scStats.TermsWarmExact) / float64(scStats.Terms)
+	}
+	fmt.Printf("matrix screening (%d states, %d stagnant):\n", len(mStates), 3)
+	fmt.Printf("%-38s %d pairs decided up front, %d/%d terms closed without a flow solve (%.0f%%)\n",
+		"bounds-first", scStats.PairsDecided, scStats.TermsBoundDecided+scStats.TermsWarmExact,
+		scStats.Terms, 100*mHit)
+	fmt.Printf("%-38s %.3f (identical screened/exhaustive)\n", "matrix checksum", mChecksum)
+
+	if benchJSONPath == "" {
+		return
+	}
+	snap := flowSnapshot{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Users:     g.N(),
+		Edges:     g.M(),
+		States:    count,
+
+		ColdFlowSeconds:  cold.flow.Seconds(),
+		WarmFlowSeconds:  warm.flow.Seconds(),
+		WarmFlowElided:   flowElided,
+		WarmFlowSpeedup:  flowSpeedup,
+		ColdPass2Seconds: cold.pass2.Seconds(),
+		WarmPass2Seconds: warm.pass2.Seconds(),
+		Pass2Speedup:     cold.pass2.Seconds() / warm.pass2.Seconds(),
+		WarmExactTerms:   warm.exact,
+		WarmSolvedTerms:  warm.solved,
+		BoundGatedTerms:  warm.gated,
+		ColdFlowSolves:   cold.coldSolv,
+		SeriesChecksum:   checksum,
+
+		TransplantUsers:       tn,
+		TransplantTicks:       ticks,
+		TransplantColdSeconds: coldDur.Seconds(),
+		TransplantWarmSeconds: warmDur.Seconds(),
+		TransplantSpeedup:     transplantSpeedup,
+		TransplantWarmSolved:  warmSolved,
+
+		NNStates:          len(nnStates),
+		NNK:               k,
+		NNExhaustivePairs: exPairs,
+		NNScreenedPairs:   scPairs,
+		NNScreenHitRate:   nnHit,
+
+		MatrixStates:       len(mStates),
+		MatrixPairsDecided: scStats.PairsDecided,
+		MatrixBoundTerms:   scStats.TermsBoundDecided,
+		MatrixTerms:        scStats.Terms,
+		MatrixBoundHitRate: mHit,
+		MatrixChecksum:     mChecksum,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatalf("flow snapshot: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(benchJSONPath, data, 0o644); err != nil {
+		fatalf("flow snapshot: %v", err)
+	}
+	fmt.Printf("\nsnapshot written to %s\n", benchJSONPath)
+}

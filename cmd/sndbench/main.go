@@ -99,7 +99,7 @@ var presets = map[string]scale{
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, sssp, or all")
+	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, sssp, flow, or all")
 	preset := flag.String("preset", "small", "size preset: small, medium, paper")
 	seed := flag.Int64("seed", 42, "master random seed")
 	flag.StringVar(&benchJSONPath, "benchjson", "", "write the engine experiment's snapshot to this JSON file")
@@ -134,8 +134,9 @@ func main() {
 		"engine":   runEngine,
 		"delta":    runDelta,
 		"sssp":     runSSSP,
+		"flow":     runFlow,
 	}
-	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta", "sssp"}
+	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta", "sssp", "flow"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = order

@@ -74,6 +74,12 @@ func runSSSP(sc scale, seed int64) {
 
 	series := func(opts snd.Options, workers int) ([]float64, time.Duration, time.Duration) {
 		opts.Clusters = clusters
+		// Pin warm starts and bound screening off: this experiment
+		// isolates the SSSP fan-out, and warm bases would serve the
+		// measured second pass whole (the flow experiment measures
+		// them).
+		opts.NoWarmStart = true
+		opts.NoBounds = true
 		nw := snd.NewNetwork(g, opts, snd.EngineConfig{Workers: workers})
 		defer nw.Close()
 		// The first pass is the cold cost (nothing retained yet); the

@@ -141,6 +141,54 @@
 // bound buckets cheaply (Assumption 2 costs always do), the radix heap
 // beyond; both queues are pooled in the worker scratch arenas.
 //
+// # Warm-started transportation solves
+//
+// Each engine worker retains a budgeted ring of recently solved term
+// instances — the routed flow and the final node potentials (the
+// duals), keyed by reference-state fingerprint, opinion, orientation,
+// and the reduced supplier/consumer/bank user lists. The retained
+// duals live as long as their basis stays within the worker's budget
+// (EngineConfig.WarmCacheBytes, default 64 MiB split across workers);
+// retention is two-tier, so a basis's cheap structure (which serves
+// whole-instance exact hits) outlives its expensive network (which
+// serves transplants). A term that exactly matches a retained basis is
+// answered from it outright — except for tracked (delta-monitoring)
+// reference states, whose fan-out must still run to materialize repair
+// donors. A term that overlaps a basis replays its flow and potentials
+// by user identity, restores dual feasibility by saturating
+// negative-reduced-cost residual arcs, and resumes successive shortest
+// paths from the retained potentials; past an invalidation threshold
+// (the saturation moved more than half the supply) it falls back to a
+// cold solve on the spot. The transportation optimum is unique, so
+// distances are bit-identical either way; Options.NoWarmStart pins the
+// cold pipeline (as does forcing FlowCostScaling), and Engine.Stats
+// reports exact hits, transplants, and phase timings.
+//
+// # Lower-bound screening
+//
+// Admissible lower bounds let batch consumers skip exact solves for
+// pairs the bound can decide, changing no result bit. Term-level: once
+// a term's rows are in hand, an integer lower bound (nearest-target
+// partition minima) and a greedy feasible upper bound cost one scan;
+// when they coincide the flow solve is skipped. Pair-level:
+// Engine.LowerBounds bounds whole SND values with no shortest-path or
+// flow work — the eq. 3 mass-mismatch term |sum P - sum Q| * Gamma per
+// term, refined by nearest-target minima over rows the ground provider
+// already retains — and NearestNeighbors on an engine-backed index
+// evaluates candidates bounds-first, stopping once the next bound
+// exceeds the k-th best exact distance. Pairs decides identical-state
+// pairs up front and Matrix elides duplicate states entirely.
+// Options.NoBounds disables all of it, pinning the exhaustive
+// pipeline.
+//
+// The same bounds are exposed over raw histograms as emd.Bounds (in
+// the internal emd package, for the dense oracle path): admissibility
+// holds unconditionally for EMD (every unit of the lighter histogram
+// pays at least its nearest-massive-bin distance) and for Hat and
+// Alpha (that bound plus the exact additive mismatch penalty; Alpha
+// equals Hat by Theorem 2), and for Star under the semimetric
+// assumption (d(i,i) = 0) its own Lemma 1/2 reduction already makes.
+//
 // # Errors
 //
 // Input validation fails with errors wrapping the structured sentinels
@@ -176,7 +224,7 @@
 //     with a labelled 2008-2011 event timeline.
 //
 // The cmd/sndbench tool regenerates every table and figure of the
-// paper's evaluation section, plus the engine, delta, and sssp
+// paper's evaluation section, plus the engine, delta, sssp, and flow
 // experiments behind the committed BENCH_baseline.json,
-// BENCH_delta.json, and BENCH_sssp.json snapshots.
+// BENCH_delta.json, BENCH_sssp.json, and BENCH_flow.json snapshots.
 package snd

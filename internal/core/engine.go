@@ -25,9 +25,21 @@ type EngineConfig struct {
 	// cost patching and tree repair. 0 selects 128 MiB; negative
 	// disables the provider.
 	GroundCacheBytes int64
+	// WarmCacheBytes budgets the solved-basis retention behind
+	// warm-started transportation solves: each worker keeps a ring of
+	// recently solved term flow networks (routed flow + potentials) and
+	// serves repeated instances whole, or transplants overlapping ones
+	// into a warm SSP drain. The budget is split evenly across workers
+	// and never exceeded; an explicit budget smaller than the worker
+	// count disables retention. 0 selects 64 MiB; negative disables
+	// retention (as does Options.NoWarmStart).
+	WarmCacheBytes int64
 }
 
-const defaultGroundCacheBytes = 128 << 20
+const (
+	defaultGroundCacheBytes = 128 << 20
+	defaultWarmCacheBytes   = 64 << 20
+)
 
 // StatePair is one (A, B) input of a batch distance computation.
 type StatePair struct {
@@ -65,12 +77,14 @@ type StatePair struct {
 // pool within one such step. With an un-cancelled context the checks
 // are pure loads: results are bit-identical with or without deadline.
 type Engine struct {
-	g       *graph.Digraph
-	opts    Options
-	workers int
-	prov    *groundProvider
-	pool    sync.Pool // *scratch
-	closed  atomic.Bool
+	g          *graph.Digraph
+	opts       Options
+	workers    int
+	prov       *groundProvider
+	warmBudget int64     // per-worker solved-basis retention budget
+	pool       sync.Pool // *scratch
+	closed     atomic.Bool
+	stats      engineStats
 }
 
 // NewEngine builds an engine over g with the given SND options.
@@ -96,11 +110,24 @@ func NewEngine(g *graph.Digraph, opts Options, cfg EngineConfig) *Engine {
 	if dopts.Engine == EngineAuto || dopts.Engine == EngineBipartite {
 		g.Reverse()
 	}
+	// The per-worker share respects the configured total exactly (a
+	// floor would silently overshoot a deliberately small cap by up to
+	// workers * floor); an explicit budget below the worker count
+	// disables retention, like a negative one.
+	var warmBudget int64
+	if cfg.WarmCacheBytes >= 0 && !dopts.NoWarmStart {
+		total := cfg.WarmCacheBytes
+		if total == 0 {
+			total = defaultWarmCacheBytes
+		}
+		warmBudget = total / int64(workers)
+	}
 	return &Engine{
-		g:       g,
-		opts:    dopts,
-		workers: workers,
-		prov:    prov,
+		g:          g,
+		opts:       dopts,
+		workers:    workers,
+		prov:       prov,
+		warmBudget: warmBudget,
 	}
 }
 
@@ -187,16 +214,54 @@ func (e *Engine) Pairs(ctx context.Context, pairs []StatePair) ([]Result, error)
 	if len(pairs) == 0 {
 		return nil, nil
 	}
-	outs, err := e.runTerms(ctx, pairs)
+	e.stats.pairsRequested.Add(int64(len(pairs)))
+	// Reference-state fingerprints key the ground provider and the
+	// worker warm caches; terms 0-1 of a pair use A's ground distance,
+	// terms 2-3 use B's.
+	hashes := make([][2]hashKey, len(pairs))
+	for i := range pairs {
+		hashes[i][0] = hashState(pairs[i].A)
+		hashes[i][1] = hashState(pairs[i].B)
+	}
+	results := make([]Result, len(pairs))
+	todo, todoHash := pairs, hashes
+	var todoIdx []int
+	if !e.opts.NoBounds {
+		// Bounds-first decided pass: identical states are at distance
+		// zero by definition (every term reduces empty), so they skip
+		// scheduling entirely. The fingerprint prefilters; the literal
+		// diff confirms, so a fingerprint collision cannot decide a
+		// wrong value.
+		todo, todoHash = nil, nil
+		for i := range pairs {
+			if hashes[i][0] == hashes[i][1] && pairs[i].A.DiffCount(pairs[i].B) == 0 {
+				for t := 0; t < 4; t++ {
+					results[i].EnginesUsed[t] = e.opts.Engine
+				}
+				e.stats.pairsDecided.Add(1)
+				continue
+			}
+			todo = append(todo, pairs[i])
+			todoHash = append(todoHash, hashes[i])
+			todoIdx = append(todoIdx, i)
+		}
+		if len(todo) == 0 {
+			return results, nil
+		}
+	}
+	outs, err := e.runTerms(ctx, todo, todoHash)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(pairs))
-	for i := range pairs {
+	for k := range todo {
+		i := k
+		if todoIdx != nil {
+			i = todoIdx[k]
+		}
 		r := &results[i]
-		r.NDelta = pairs[i].A.DiffCount(pairs[i].B)
+		r.NDelta = todo[k].A.DiffCount(todo[k].B)
 		for t := 0; t < 4; t++ {
-			o := outs[4*i+t]
+			o := outs[4*k+t]
 			r.Terms[t] = o.val
 			r.SSSPRuns += o.runs
 			r.EnginesUsed[t] = o.used
@@ -233,21 +298,73 @@ func (e *Engine) Series(ctx context.Context, states []opinion.State) ([]float64,
 
 // Matrix computes the full symmetric distance matrix of the given
 // states, evaluating only the i < j pairs (SND is symmetric) and
-// mirroring. The diagonal is zero.
+// mirroring. The diagonal is zero. Unless Options.NoBounds is set, a
+// bounds-first pass deduplicates content-identical states (their rows
+// and columns coincide, and their mutual distance is zero by
+// definition), so only distinct-state pairs pay exact solves; the
+// returned matrix is bit-identical either way, since the engine's
+// result is a pure function of state content.
 func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float64, error) {
 	if err := e.closedErr(); err != nil {
 		return nil, err
 	}
 	n := len(states)
-	pairs := make([]StatePair, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			pairs = append(pairs, StatePair{A: states[i], B: states[j]})
+	// Validate up front (Pairs validates again, harmlessly): the dedup
+	// pass below can answer without ever scheduling a pair, and the
+	// screened and unscreened paths must reject invalid input alike.
+	for i := range states {
+		if err := e.opts.validate(e.g, states[i], states[i]); err != nil {
+			return nil, fmt.Errorf("core: state %d: %w", i, err)
 		}
 	}
 	out := make([][]float64, n)
 	for i := range out {
 		out[i] = make([]float64, n)
+	}
+	if n < 2 {
+		return out, nil
+	}
+	// repOf[i] is the position of state i's representative in reps:
+	// with NoBounds every state represents itself; otherwise states
+	// with identical content (fingerprint prefilter, literal diff
+	// confirms) share one representative.
+	repOf := make([]int, n)
+	var reps []int
+	if e.opts.NoBounds {
+		reps = make([]int, n)
+		for i := range reps {
+			reps[i], repOf[i] = i, i
+		}
+	} else {
+		byHash := make(map[hashKey][]int, n)
+		for i := 0; i < n; i++ {
+			h := hashState(states[i])
+			assigned := false
+			for _, r := range byHash[h] {
+				if states[i].DiffCount(states[reps[r]]) == 0 {
+					repOf[i] = r
+					assigned = true
+					break
+				}
+			}
+			if !assigned {
+				repOf[i] = len(reps)
+				byHash[h] = append(byHash[h], len(reps))
+				reps = append(reps, i)
+			}
+		}
+	}
+	u := len(reps)
+	pairs := make([]StatePair, 0, u*(u-1)/2)
+	for a := 0; a < u; a++ {
+		for b := a + 1; b < u; b++ {
+			pairs = append(pairs, StatePair{A: states[reps[a]], B: states[reps[b]]})
+		}
+	}
+	// Entries elided by deduplication were decided without scheduling;
+	// count them with the identical-pair decisions of Pairs.
+	if elided := int64(n*(n-1)/2 - len(pairs)); elided > 0 {
+		e.stats.pairsDecided.Add(elided)
 	}
 	if len(pairs) == 0 {
 		return out, nil
@@ -256,12 +373,31 @@ func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float6
 	if err != nil {
 		return nil, err
 	}
-	k := 0
+	// Distance between representatives a < b sits at pair index
+	// a*(2u-a-1)/2 + (b-a-1) in the row-major i<j enumeration.
+	at := func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		flip := a > b
+		if flip {
+			a, b = b, a
+		}
+		r := &results[a*(2*u-a-1)/2+(b-a-1)]
+		if flip {
+			// The exhaustive enumeration would have evaluated this
+			// entry with the states swapped, which swaps terms 0<->2
+			// and 1<->3; re-aggregate in that order so the float sum
+			// matches the unscreened matrix bit for bit.
+			return (r.Terms[2] + r.Terms[3] + r.Terms[0] + r.Terms[1]) / 2
+		}
+		return r.SND
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			out[i][j] = results[k].SND
-			out[j][i] = results[k].SND
-			k++
+			d := at(repOf[i], repOf[j])
+			out[i][j] = d
+			out[j][i] = d
 		}
 	}
 	return out, nil
@@ -277,20 +413,12 @@ type termOut struct {
 
 // runTerms evaluates the 4*len(pairs) EMD* terms across the pool and
 // returns them indexed as outs[4*pair+term], so aggregation order (and
-// therefore every result bit) is independent of scheduling. Workers
-// observe ctx between terms (and pass it down into the SSSP and flow
-// loops of each term), so a cancelled batch stops claiming work and
-// runTerms returns ctx.Err().
-func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, error) {
-	// Reference-state hashes key the ground provider; terms 0-1 of a
-	// pair use A's ground distance, terms 2-3 use B's.
-	hashes := make([][2]hashKey, len(pairs))
-	if e.prov != nil {
-		for i := range pairs {
-			hashes[i][0] = hashState(pairs[i].A)
-			hashes[i][1] = hashState(pairs[i].B)
-		}
-	}
+// therefore every result bit) is independent of scheduling. hashes
+// carries each pair's (A, B) reference-state fingerprints, computed by
+// the caller. Workers observe ctx between terms (and pass it down into
+// the SSSP and flow loops of each term), so a cancelled batch stops
+// claiming work and runTerms returns ctx.Err().
+func (e *Engine) runTerms(ctx context.Context, pairs []StatePair, hashes [][2]hashKey) ([]termOut, error) {
 	total := 4 * len(pairs)
 	outs := make([]termOut, total)
 	// All configured workers spawn even when the batch has fewer terms
@@ -336,9 +464,13 @@ func (e *Engine) runTerms(ctx context.Context, pairs []StatePair) ([]termOut, er
 				}
 				pi, term := t/4, t%4
 				spec := eqSpec(pairs[pi].A, pairs[pi].B, term)
-				tc := termCtx{ctx: ctx, sc: sc, prov: e.prov, help: hp}
-				if e.prov != nil {
-					tc.refHash = hashes[pi][term/2]
+				tc := termCtx{
+					ctx:     ctx,
+					sc:      sc,
+					prov:    e.prov,
+					help:    hp,
+					stats:   &e.stats,
+					refHash: hashes[pi][term/2],
 				}
 				v, runs, used, err := computeTerm(e.g, spec, e.opts, tc)
 				if err != nil {
@@ -372,7 +504,7 @@ func (e *Engine) getScratch() *scratch {
 	if sc, ok := e.pool.Get().(*scratch); ok {
 		return sc
 	}
-	return &scratch{}
+	return &scratch{warm: newWarmCache(e.warmBudget)}
 }
 
 // eqSpec returns the term-th EMD* term of eq. 3 for the pair (a, b).
@@ -409,6 +541,18 @@ type scratch struct {
 	rows    [][]int64
 	targets []int32
 	bankOff []int32
+
+	// warm is the worker's solved-basis ring (nil when warm-starting is
+	// disabled); the slot arrays are the epoch-stamped user -> instance
+	// slot maps its matching and transplants run on, and the map/bound
+	// buffers are per-term transplant and bound-gate scratch.
+	warm                       *warmCache
+	slotGen                    uint32
+	slotEpoch                  []uint32
+	slotSup, slotCon, slotBank []int32
+	mapSup, mapCon, mapBank    []int32
+	mapNodes                   []int32
+	boundBuf                   []int64
 }
 
 // network returns a flow network with n nodes and room for hintArcs
@@ -418,6 +562,13 @@ func (sc *scratch) network(n, hintArcs int) *flow.Network {
 		return flow.NewNetwork(n, hintArcs)
 	}
 	if sc.nw == nil {
+		// The previous network may have moved into the warm cache as a
+		// retained basis; rebuild from an evicted one when available.
+		if freed := sc.warm.takeFree(); freed != nil {
+			sc.nw = freed
+			sc.nw.Reset(n, hintArcs)
+			return sc.nw
+		}
 		sc.nw = flow.NewNetwork(n, hintArcs)
 		return sc.nw
 	}

@@ -578,6 +578,42 @@ func (p *groundProvider) rowGoals(ref hashKey, st opinion.State, op opinion.Opin
 	return true
 }
 
+// isTracked reports whether ref rides the tracked delta window. Warm
+// exact-match shortcuts consult it: a tracked reference state must not
+// skip its SSSP fan-out (the fan-out materializes the exact trees the
+// next tick's delta repairs derive from), so the shortcut stands down
+// for it.
+func (p *groundProvider) isTracked(ref hashKey) bool {
+	p.mu.RLock()
+	ent := p.refs[ref]
+	tracked := ent != nil && ent.tracked
+	p.mu.RUnlock()
+	return tracked
+}
+
+// peekRow returns the retained distance row for (ref, op, reversed,
+// src) without deriving or computing anything: the exact tree's dist
+// array when one is retained, else the compact capped row. ok reports
+// a hit. This is the read side of lower-bound screening, which must
+// never pay shortest-path work for a bound.
+func (p *groundProvider) peekRow(ref hashKey, op opinion.Opinion, reversed bool, src int32) (dist []int64, compact []int32, ok bool) {
+	oi := opIdx(op)
+	tk := treeKey{reversed: reversed, src: src}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ent := p.refs[ref]
+	if ent == nil {
+		return nil, nil, false
+	}
+	if tr := ent.side[oi].trees[tk]; tr != nil {
+		return tr.dist, nil, true
+	}
+	if c := ent.side[oi].rows[tk]; c != nil {
+		return nil, c, true
+	}
+	return nil, nil, false
+}
+
 // putRow publishes a compact capped row (first writer wins) and
 // returns the published slice.
 func (p *groundProvider) putRow(ref hashKey, st opinion.State, oi int, tk treeKey, c []int32) []int32 {

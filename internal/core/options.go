@@ -131,6 +131,27 @@ type Options struct {
 	// experiment measures pruned against unpruned) and as a validation
 	// lever for the exactness property tests.
 	NoGoalPrune bool
+	// NoWarmStart disables warm-started transportation solves in the
+	// bipartite pipeline: every term solve starts from zero potentials
+	// and no flow, and no solved bases are retained in the worker
+	// arenas — exactly the pre-warm-start pipeline. Distances are
+	// bit-identical either way (the transportation optimum is unique),
+	// so this exists for benchmarking (the sndbench flow experiment
+	// measures warm against cold) and as a validation lever for the
+	// exactness property tests.
+	NoWarmStart bool
+	// NoBounds disables lower-bound screening everywhere: the term
+	// pipeline always runs its flow solve (no LB == UB gate), Pairs and
+	// Matrix never decide identical-state pairs up front, and
+	// Engine.LowerBounds returns zeros, which makes the bound-first
+	// nearest-neighbor scan (search.Index.NearestNeighbors) degrade to
+	// exhaustive evaluation. Anomaly detection inherits the gates
+	// through its Series batch (stagnant transitions decide as
+	// identical pairs; decided terms skip their solves) rather than
+	// through a dedicated prefilter. Distances are bit-identical either
+	// way; this pins the unscreened pipeline for benchmarking and
+	// tests.
+	NoBounds bool
 	// Clusters optionally groups users for bank allocation (nil =
 	// one bank per user, the Theorem 4 setting).
 	Clusters []int

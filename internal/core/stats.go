@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// engineStats aggregates the engine's phase and screening counters.
+// Every field is monotonically increasing and updated with atomics, so
+// workers record without coordination and Stats() snapshots are cheap;
+// deltas between two snapshots isolate one batch. The counters are
+// observability only: no engine decision reads them.
+type engineStats struct {
+	ssspNanos  atomic.Int64 // time in the SSSP fan-out (row production)
+	flowNanos  atomic.Int64 // time in transportation solves (incl. transplants)
+	boundNanos atomic.Int64 // time computing bounds (term gates + pair LBs)
+
+	terms             atomic.Int64 // bipartite terms evaluated
+	termsBoundDecided atomic.Int64 // terms decided by LB == UB, no flow solve
+	termsWarmExact    atomic.Int64 // terms served whole from a retained basis
+	termsWarmSolved   atomic.Int64 // terms solved warm from a transplanted basis
+	flowSolves        atomic.Int64 // cold flow solves (SSP or cost-scaling)
+
+	pairsRequested atomic.Int64 // pairs entering Pairs
+	pairsDecided   atomic.Int64 // pairs decided without scheduling (identical states)
+	pairBounds     atomic.Int64 // pair lower bounds computed by LowerBounds
+}
+
+// addPhase charges a wall-clock duration to one phase counter.
+func addPhase(c *atomic.Int64, start time.Time) {
+	c.Add(int64(time.Since(start)))
+}
+
+// EngineStats is a point-in-time snapshot of the engine's cumulative
+// phase timings and screening counters (see Engine.Stats). Subtract two
+// snapshots to isolate a batch; all fields grow monotonically.
+type EngineStats struct {
+	// SSSPTime, FlowTime, and BoundTime split the term pipeline's wall
+	// clock into its three phases: shortest-path row production, the
+	// transportation solves, and bound computation (term-level LB/UB
+	// gates plus pair-level LowerBounds). The phases are per-worker
+	// sums, so with W workers they can total W times the elapsed time.
+	SSSPTime, FlowTime, BoundTime time.Duration
+	// Terms counts bipartite-pipeline term evaluations;
+	// TermsBoundDecided of them were closed by the integer LB == UB
+	// gate, TermsWarmExact were served whole from a retained basis
+	// (identical instance), and TermsWarmSolved ran a warm SSP drain
+	// from a transplanted basis. FlowSolves counts the cold solves.
+	Terms, TermsBoundDecided, TermsWarmExact, TermsWarmSolved, FlowSolves int64
+	// Pairs counts pairs entering Engine.Pairs; PairsDecided of them
+	// were answered without scheduling any term (identical states).
+	// PairBounds counts pair lower bounds served by LowerBounds.
+	Pairs, PairsDecided, PairBounds int64
+}
+
+// Stats returns a snapshot of the engine's cumulative phase timings and
+// warm-start/bound screening counters. Counters only grow; subtract two
+// snapshots to isolate a batch. Safe for concurrent use.
+func (e *Engine) Stats() EngineStats {
+	s := &e.stats
+	return EngineStats{
+		SSSPTime:          time.Duration(s.ssspNanos.Load()),
+		FlowTime:          time.Duration(s.flowNanos.Load()),
+		BoundTime:         time.Duration(s.boundNanos.Load()),
+		Terms:             s.terms.Load(),
+		TermsBoundDecided: s.termsBoundDecided.Load(),
+		TermsWarmExact:    s.termsWarmExact.Load(),
+		TermsWarmSolved:   s.termsWarmSolved.Load(),
+		FlowSolves:        s.flowSolves.Load(),
+		Pairs:             s.pairsRequested.Load(),
+		PairsDecided:      s.pairsDecided.Load(),
+		PairBounds:        s.pairBounds.Load(),
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"snd/internal/cluster"
 	"snd/internal/emd"
@@ -140,7 +141,12 @@ type termCtx struct {
 	ctx  context.Context
 	sc   *scratch
 	prov *groundProvider
-	// refHash fingerprints spec.ref; only meaningful when prov != nil.
+	// stats, when non-nil, receives the engine's phase timings and
+	// warm/bound counters; the zero termCtx records nothing.
+	stats *engineStats
+	// refHash fingerprints spec.ref; only meaningful when the engine
+	// provides it (provider keys and warm-basis identity both hang off
+	// it).
 	refHash hashKey
 	// help, when non-nil, lets this term split its per-source SSSP
 	// fan-out into sub-tasks that idle engine workers steal. Row
@@ -249,6 +255,46 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 		srcGraph = g.Reverse()
 		sources, opposite = red.C, red.S
 	}
+	if tc.stats != nil {
+		tc.stats.terms.Add(1)
+	}
+
+	// Warm-start lookup. An exact hit — same ground distance, same
+	// reduced structure — is a whole retained instance: its optimal
+	// cost is the term value, before any shortest-path or assembly
+	// work (the SSSP charge is reported as always, so Results stay
+	// identical). Failing that, the best-overlapping basis becomes a
+	// transplant donor for the solve below. A forced cost-scaling
+	// solver opts out: pinning a solver is a benchmarking lever, and
+	// the warm path would bypass it.
+	var donor *warmBasis
+	warmable := tc.sc != nil && tc.sc.warm != nil && !o.NoWarmStart &&
+		!collectArcs && o.Solver != FlowCostScaling
+	if warmable {
+		tc.sc.markInstance(g.N(), red)
+		exact, d := tc.sc.findWarm(tc.refHash, spec, red)
+		// Tracked reference states never take the whole-instance
+		// shortcut: their fan-out materializes the exact trees the next
+		// delta tick repairs from, and skipping it would silently
+		// degrade every later Step to cold Dijkstras.
+		if exact != nil {
+			if tc.prov == nil || !tc.prov.isTracked(tc.refHash) {
+				tc.sc.warm.refresh(exact)
+				if tc.stats != nil {
+					tc.stats.termsWarmExact.Add(1)
+				}
+				return float64(exact.cost) / float64(red.scale), len(sources), nil, nil, nil
+			}
+			// Shortcut declined (fan-out must run for the tracked
+			// state); the identical basis is still a perfect transplant
+			// donor for the solve — if it still holds its network
+			// (budget pressure strips networks but keeps structures).
+			if exact.nw != nil {
+				d = exact
+			}
+		}
+		donor = d
+	}
 	srcW := tc.groundWeights(g, spec, o, reversed)
 
 	// The term consumes, per source, only the distances to the opposite
@@ -278,14 +324,36 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 	if tc.sc != nil {
 		tc.sc.targets, tc.sc.bankOff = targets, bankOff
 	}
+	fanStart := time.Now()
 	if err := tc.fanOutRows(srcGraph, srcW, spec, o, sources, targets, rows, reversed, maxCost, inf); err != nil {
 		return 0, 0, nil, nil, err
+	}
+	if tc.stats != nil {
+		addPhase(&tc.stats.ssspNanos, fanStart)
 	}
 	capDist := func(d int64) int64 {
 		if d >= sssp.Unreachable || d > inf {
 			return inf
 		}
 		return d
+	}
+
+	// Bound gate: with the rows in hand, an admissible lower bound and
+	// a feasible greedy upper bound are a rows-scan away; when they
+	// coincide they pin the integer optimum and the flow solve is
+	// skipped. Explain always solves (it needs the realized plan).
+	if !o.NoBounds && !collectArcs {
+		boundStart := time.Now()
+		lb, ub := termBoundsFromRows(red, rows, len(opposite), bankOff, len(targets), o.Gamma, capDist, tc.sc)
+		if tc.stats != nil {
+			addPhase(&tc.stats.boundNanos, boundStart)
+		}
+		if lb == ub {
+			if tc.stats != nil {
+				tc.stats.termsBoundDecided.Add(1)
+			}
+			return float64(lb) / float64(red.scale), len(sources), nil, nil, nil
+		}
 	}
 	// distSC(i, j): ground distance from red.S[i] to red.C[j].
 	distSC := func(i, j int) int64 {
@@ -386,9 +454,55 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 			}
 		}
 	}
-	cost, err := solveNetwork(tc.ctx, nw, o, inf+o.Gamma, true)
+	solveStart := time.Now()
+	var cost int64
+	var err error
+	usedCostScaling := false
+	if donor != nil {
+		// Warm solve: replay the donor's basis onto the fresh instance
+		// and drain the residual imbalance from its potentials. The
+		// optimum is unique, so the value matches a cold solve exactly.
+		tc.sc.transplant(nw, red, donor)
+		cost, err = nw.SolveSSPWarm(tc.ctx, o.Heap, inf+o.Gamma)
+		if tc.stats != nil && err == nil {
+			tc.stats.termsWarmSolved.Add(1)
+		}
+	} else {
+		cost, usedCostScaling, err = solveNetwork(tc.ctx, nw, o, inf+o.Gamma, true)
+		if tc.stats != nil && err == nil {
+			tc.stats.flowSolves.Add(1)
+		}
+	}
+	if tc.stats != nil {
+		addPhase(&tc.stats.flowNanos, solveStart)
+	}
 	if err != nil {
 		return 0, len(sources), nil, nil, err
+	}
+	if warmable && nw == tc.sc.nw && nw.NumArcs() >= warmMinArcs {
+		// Retain the solved instance as the newest basis. The network
+		// moves into the ring (the scratch arena rebuilds from the
+		// ring's evictions), and reduce()'s freshly allocated slices
+		// make the reduction safe to keep by reference. Cost-scaling
+		// leaves its potentials in the (n+1)-scaled domain; record the
+		// divisor so transplants renormalize.
+		priceDiv := int64(1)
+		if usedCostScaling {
+			priceDiv = int64(nw.N() + 1)
+		}
+		tc.sc.warm.store(&warmBasis{
+			refHash:     tc.refHash,
+			op:          spec.op,
+			reversed:    reversed,
+			red:         red,
+			arcs:        nw.NumArcs(),
+			cost:        cost,
+			priceDiv:    priceDiv,
+			nw:          nw,
+			netBytes:    netFootprint(nw),
+			structBytes: structFootprint(red),
+		})
+		tc.sc.nw = nil
 	}
 	return float64(cost) / float64(red.scale), len(sources), nw, arcs, nil
 }
@@ -510,7 +624,14 @@ func termNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc t
 			nw.SetExcess(n+b, -red.banks[b].units)
 		}
 	}
-	cost, err := solveNetwork(tc.ctx, nw, o, maxCost, false)
+	solveStart := time.Now()
+	cost, _, err := solveNetwork(tc.ctx, nw, o, maxCost, false)
+	if tc.stats != nil {
+		addPhase(&tc.stats.flowNanos, solveStart)
+		if err == nil {
+			tc.stats.flowSolves.Add(1)
+		}
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -537,8 +658,9 @@ func bankUnits(red reduction) int64 {
 // realistic active fraction pushes the instance past 600 nodes, so SSP
 // effectively serves only clustered-bank reductions. ctx (which may be
 // nil) lets the solvers abandon a cancelled request between flow
-// pushes.
-func solveNetwork(ctx context.Context, nw *flow.Network, o Options, maxArcCost int64, bipartite bool) (int64, error) {
+// pushes. usedCostScaling reports which solver ran — warm-basis
+// retention needs it to renormalize cost-scaling's scaled potentials.
+func solveNetwork(ctx context.Context, nw *flow.Network, o Options, maxArcCost int64, bipartite bool) (cost int64, usedCostScaling bool, err error) {
 	solver := o.Solver
 	if solver == FlowAuto {
 		if bipartite && nw.N() <= 600 {
@@ -548,9 +670,11 @@ func solveNetwork(ctx context.Context, nw *flow.Network, o Options, maxArcCost i
 		}
 	}
 	if solver == FlowSSP {
-		return nw.SolveSSP(ctx, o.Heap, maxArcCost)
+		cost, err = nw.SolveSSP(ctx, o.Heap, maxArcCost)
+		return cost, false, err
 	}
-	return nw.SolveCostScaling(ctx)
+	cost, err = nw.SolveCostScaling(ctx)
+	return cost, true, err
 }
 
 // termDense is the oracle engine: full Johnson all-pairs ground

@@ -148,6 +148,9 @@ func (nw *Network) SetExcess(v int, excess int64) { nw.excess[v] = excess }
 // Flow returns the flow routed on the forward arc with the given id.
 func (nw *Network) Flow(arcID int) int64 { return nw.res[arcID^1] }
 
+// Excess returns node v's declared excess.
+func (nw *Network) Excess(v int) int64 { return nw.excess[v] }
+
 // TotalCost returns sum over forward arcs of flow * cost.
 func (nw *Network) TotalCost() int64 {
 	var total int64
@@ -185,9 +188,6 @@ func (nw *Network) SolveSSP(ctx context.Context, kind pqueue.Kind, maxArcCost in
 	if supply != demand {
 		return 0, fmt.Errorf("flow: unbalanced network: supply %d != demand %d", supply, demand)
 	}
-	if kind == pqueue.KindDial {
-		kind = pqueue.KindRadix
-	}
 	n := nw.numNodes
 	nw.scEx = growInt64(nw.scEx, n)
 	ex := nw.scEx
@@ -195,16 +195,33 @@ func (nw *Network) SolveSSP(ctx context.Context, kind pqueue.Kind, maxArcCost in
 	for i := range nw.price {
 		nw.price[i] = 0
 	}
+	if err := nw.drainSSP(ctx, kind, maxArcCost, ex, supply); err != nil {
+		return 0, err
+	}
+	return nw.TotalCost(), nil
+}
+
+// drainSSP routes the pseudoflow imbalances ex (positive = surplus,
+// negative = deficit, summing to zero with total surplus `remaining`)
+// to optimality by successive shortest paths over reduced costs,
+// starting from the network's current prices. Every residual arc must
+// have non-negative reduced cost on entry — true for a cold start
+// (zero prices, non-negative costs) and re-established by the warm
+// path's saturation repair.
+func (nw *Network) drainSSP(ctx context.Context, kind pqueue.Kind, maxArcCost int64, ex []int64, remaining int64) error {
+	if kind == pqueue.KindDial {
+		kind = pqueue.KindRadix
+	}
+	n := nw.numNodes
 	nw.scDist = growInt64(nw.scDist, n)
 	nw.scVisited = growBool(nw.scVisited, n)
 	nw.scParent = growInt32(nw.scParent, n)
 	dist, visited, parentArc := nw.scDist, nw.scVisited, nw.scParent
 	q := pqueue.New(kind, maxArcCost, n)
-	remaining := supply
 	for remaining > 0 {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return 0, err
+				return err
 			}
 		}
 		// Multi-source Dijkstra from all positive-excess nodes over
@@ -243,7 +260,7 @@ func (nw *Network) SolveSSP(ctx context.Context, kind pqueue.Kind, maxArcCost in
 				w := int(nw.to[a])
 				rc := nw.cost[a] + nw.price[v] - nw.price[w]
 				if rc < 0 {
-					return 0, fmt.Errorf("flow: negative reduced cost %d on arc %d->%d", rc, v, w)
+					return fmt.Errorf("flow: negative reduced cost %d on arc %d->%d", rc, v, w)
 				}
 				if nd := key + rc; nd < dist[w] {
 					dist[w] = nd
@@ -253,7 +270,7 @@ func (nw *Network) SolveSSP(ctx context.Context, kind pqueue.Kind, maxArcCost in
 			}
 		}
 		if target < 0 {
-			return 0, fmt.Errorf("flow: infeasible: %d units stranded", remaining)
+			return fmt.Errorf("flow: infeasible: %d units stranded", remaining)
 		}
 		// Update prices with the capped distances.
 		for v := 0; v < n; v++ {
@@ -285,7 +302,7 @@ func (nw *Network) SolveSSP(ctx context.Context, kind pqueue.Kind, maxArcCost in
 		ex[target] += bottleneck
 		remaining -= bottleneck
 	}
-	return nw.TotalCost(), nil
+	return nil
 }
 
 // ResetFlow clears any routed flow, restoring residual capacities to

@@ -125,6 +125,24 @@ func (m SNDMeasure) DistancePairs(ctx context.Context, pairs [][2]opinion.State)
 	return out, nil
 }
 
+// DistanceLowerBounds returns admissible lower bounds on every pair's
+// SND — bounds[i] <= the exact distance, always — computed without any
+// shortest-path or flow work (the engine's mass-mismatch term plus
+// cached-row minima). It returns nil (with nil error) when the measure
+// cannot bound cheaply: no attached engine, or bounds disabled via
+// Options.NoBounds. Bound-first consumers (the search index's
+// nearest-neighbor scan) treat nil as "evaluate exhaustively".
+func (m SNDMeasure) DistanceLowerBounds(ctx context.Context, pairs [][2]opinion.State) ([]float64, error) {
+	if m.Engine == nil || m.Opts.NoBounds {
+		return nil, nil
+	}
+	sp := make([]core.StatePair, len(pairs))
+	for i, p := range pairs {
+		sp[i] = core.StatePair{A: p[0], B: p[1]}
+	}
+	return m.Engine.LowerBounds(ctx, sp)
+}
+
 // PairDistancer is satisfied by measures that can evaluate many state
 // pairs in one batch (SNDMeasure with an attached engine).
 type PairDistancer interface {

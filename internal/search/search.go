@@ -33,21 +33,35 @@ type pairDistancer interface {
 	DistancePairs(ctx context.Context, pairs [][2]opinion.State) ([]float64, error)
 }
 
+// pairBounder is the optional screening fast path: measures that can
+// cheaply lower-bound many pairs at once (the engine-backed SND
+// measure, via its mass-mismatch and cached-row bounds) satisfy it.
+// A nil bounds slice (with nil error) means "no bounds available" —
+// the index then evaluates exhaustively. Bounds must be admissible:
+// bounds[i] <= the exact distance of pairs[i], always; the index
+// trusts this when it skips exact evaluations.
+type pairBounder interface {
+	DistanceLowerBounds(ctx context.Context, pairs [][2]opinion.State) ([]float64, error)
+}
+
 // Index is a collection of network states searchable by distance.
 type Index struct {
 	states []opinion.State
 	dist   Distance
-	cache  map[[2]int]float64
+	// The pair cache is a dense upper-triangular array: pair (i, j)
+	// with i < j lives at triIdx(i, j), with a validity bit aside. It
+	// replaces a map[[2]int]float64 whose per-lookup hashing dominated
+	// the k-medoids and classification assignment loops; it is
+	// allocated lazily on first cached lookup, so index uses that
+	// never touch pair distances (NearestNeighbors) pay nothing.
+	cache []float64
+	valid []bool
 }
 
 // NewIndex builds an index over the given states (which are not
 // copied).
 func NewIndex(states []opinion.State, dist Distance) *Index {
-	return &Index{
-		states: states,
-		dist:   dist,
-		cache:  make(map[[2]int]float64),
-	}
+	return &Index{states: states, dist: dist}
 }
 
 // Len returns the number of indexed states.
@@ -56,24 +70,75 @@ func (ix *Index) Len() int { return len(ix.states) }
 // State returns the i-th indexed state.
 func (ix *Index) State(i int) opinion.State { return ix.states[i] }
 
+// triIdx maps pair (i, j), i < j, to its upper-triangular slot.
+func (ix *Index) triIdx(i, j int) int {
+	n := len(ix.states)
+	return i*(2*n-i-1)/2 + (j - i - 1)
+}
+
+func (ix *Index) ensureCache() {
+	if ix.cache == nil {
+		n := len(ix.states)
+		ix.cache = make([]float64, n*(n-1)/2)
+		ix.valid = make([]bool, len(ix.cache))
+	}
+}
+
 // between returns the (cached) distance between indexed states i and j.
 func (ix *Index) between(i, j int) (float64, error) {
 	if i == j {
 		return 0, nil
 	}
-	key := [2]int{i, j}
 	if i > j {
-		key = [2]int{j, i}
+		i, j = j, i
 	}
-	if d, ok := ix.cache[key]; ok {
-		return d, nil
+	ix.ensureCache()
+	k := ix.triIdx(i, j)
+	if ix.valid[k] {
+		return ix.cache[k], nil
 	}
 	d, err := ix.dist.Distance(ix.states[i], ix.states[j])
 	if err != nil {
 		return 0, err
 	}
-	ix.cache[key] = d
+	ix.cache[k] = d
+	ix.valid[k] = true
 	return d, nil
+}
+
+// prefill evaluates every uncached i < j pair in one batch when the
+// measure is batch-capable, feeding the dense pair cache that the
+// k-medoids and classification loops then hit without ever calling the
+// measure again. A no-op for scalar measures.
+func (ix *Index) prefill(ctx context.Context) error {
+	pd, ok := ix.dist.(pairDistancer)
+	if !ok || len(ix.states) < 2 {
+		return nil
+	}
+	ix.ensureCache()
+	var pairs [][2]opinion.State
+	var keys []int
+	n := len(ix.states)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if k := ix.triIdx(i, j); !ix.valid[k] {
+				pairs = append(pairs, [2]opinion.State{ix.states[i], ix.states[j]})
+				keys = append(keys, k)
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	ds, err := pd.DistancePairs(ctx, pairs)
+	if err != nil {
+		return err
+	}
+	for k, d := range ds {
+		ix.cache[keys[k]] = d
+		ix.valid[keys[k]] = true
+	}
+	return nil
 }
 
 // Neighbor is one search result.
@@ -86,6 +151,14 @@ type Neighbor struct {
 
 // NearestNeighbors returns the k indexed states closest to the query,
 // ascending by distance. Cancelling ctx aborts the scan with ctx.Err().
+//
+// With a bound-capable measure (the engine-backed SND measure), the
+// scan is bounds-first: admissible lower bounds order the candidates,
+// exact distances are evaluated in that order, and the scan stops once
+// the next candidate's bound exceeds the k-th best exact distance —
+// every unevaluated candidate is then strictly farther. The returned
+// neighbors are bit-identical to the exhaustive scan; only the number
+// of exact evaluations changes.
 func (ix *Index) NearestNeighbors(ctx context.Context, query opinion.State, k int) ([]Neighbor, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("search: k must be >= 1, got %d", k)
@@ -93,20 +166,43 @@ func (ix *Index) NearestNeighbors(ctx context.Context, query opinion.State, k in
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	out := make([]Neighbor, 0, len(ix.states))
+	var out []Neighbor
 	if pd, ok := ix.dist.(pairDistancer); ok && len(ix.states) > 1 {
 		pairs := make([][2]opinion.State, len(ix.states))
 		for i := range ix.states {
 			pairs[i] = [2]opinion.State{query, ix.states[i]}
 		}
-		ds, err := pd.DistancePairs(ctx, pairs)
-		if err != nil {
-			return nil, err
+		var lbs []float64
+		if pb, ok := ix.dist.(pairBounder); ok && len(ix.states) > k {
+			var err error
+			if lbs, err = pb.DistanceLowerBounds(ctx, pairs); err != nil {
+				return nil, err
+			}
 		}
-		for i, d := range ds {
-			out = append(out, Neighbor{Index: i, Dist: d})
+		screened := false
+		for _, lb := range lbs {
+			if lb > 0 {
+				screened = true // all-zero bounds cannot skip anything
+				break
+			}
+		}
+		if screened {
+			var err error
+			if out, err = ix.screenedScan(ctx, pd, pairs, lbs, k); err != nil {
+				return nil, err
+			}
+		} else {
+			ds, err := pd.DistancePairs(ctx, pairs)
+			if err != nil {
+				return nil, err
+			}
+			out = make([]Neighbor, 0, len(ds))
+			for i, d := range ds {
+				out = append(out, Neighbor{Index: i, Dist: d})
+			}
 		}
 	} else {
+		out = make([]Neighbor, 0, len(ix.states))
 		for i := range ix.states {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -118,16 +214,71 @@ func (ix *Index) NearestNeighbors(ctx context.Context, query opinion.State, k in
 			out = append(out, Neighbor{Index: i, Dist: d})
 		}
 	}
+	sortNeighbors(out)
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k], nil
+}
+
+func sortNeighbors(out []Neighbor) {
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Dist != out[b].Dist {
 			return out[a].Dist < out[b].Dist
 		}
 		return out[a].Index < out[b].Index
 	})
-	if k > len(out) {
-		k = len(out)
+}
+
+// screenedScan evaluates candidates in ascending lower-bound order, in
+// batches, until the next bound exceeds the k-th best exact distance.
+// Every unevaluated candidate then satisfies dist >= bound > tau, i.e.
+// is strictly farther than the current k-th neighbor, so the evaluated
+// set contains the exhaustive top k exactly.
+func (ix *Index) screenedScan(ctx context.Context, pd pairDistancer, pairs [][2]opinion.State, lbs []float64, k int) ([]Neighbor, error) {
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
 	}
-	return out[:k], nil
+	sort.Slice(order, func(a, b int) bool {
+		if lbs[order[a]] != lbs[order[b]] {
+			return lbs[order[a]] < lbs[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	chunk := k
+	if chunk < 16 {
+		chunk = 16
+	}
+	var out []Neighbor
+	tau := math.Inf(1)
+	batch := make([][2]opinion.State, 0, chunk)
+	for start := 0; start < len(order); {
+		if len(out) >= k && lbs[order[start]] > tau {
+			break
+		}
+		end := start + chunk
+		if end > len(order) {
+			end = len(order)
+		}
+		batch = batch[:0]
+		for _, ci := range order[start:end] {
+			batch = append(batch, pairs[ci])
+		}
+		ds, err := pd.DistancePairs(ctx, batch)
+		if err != nil {
+			return nil, err
+		}
+		for bi, d := range ds {
+			out = append(out, Neighbor{Index: order[start+bi], Dist: d})
+		}
+		if len(out) >= k {
+			sortNeighbors(out)
+			tau = out[k-1].Dist
+		}
+		start = end
+	}
+	return out, nil
 }
 
 // Classify predicts the query's label as the majority label among its
@@ -171,12 +322,19 @@ type Clustering struct {
 // KMedoids clusters the indexed states around k representative states
 // by PAM-style alternation with 8 random restarts, keeping the lowest-
 // cost clustering. Deterministic for a fixed seed. Cancelling ctx
-// aborts between assignment sweeps with ctx.Err(); warming the pair
-// cache first (PairwiseMatrix) makes the sweeps cheap.
+// aborts between assignment sweeps with ctx.Err(). With a
+// batch-capable measure the pair cache is prefilled in one parallel
+// batch up front, so the alternation sweeps are pure dense-array
+// lookups.
 func (ix *Index) KMedoids(ctx context.Context, k, maxIter int, seed int64) (Clustering, error) {
 	const restarts = 8
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if k >= 1 && k <= len(ix.states) {
+		if err := ix.prefill(ctx); err != nil {
+			return Clustering{}, err
+		}
 	}
 	var best Clustering
 	bestCost := math.Inf(1)
@@ -286,26 +444,8 @@ func (ix *Index) PairwiseMatrix(ctx context.Context) ([][]float64, error) {
 	for i := range out {
 		out[i] = make([]float64, n)
 	}
-	if pd, ok := ix.dist.(pairDistancer); ok {
-		var pairs [][2]opinion.State
-		var keys [][2]int
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				if _, cached := ix.cache[[2]int{i, j}]; !cached {
-					pairs = append(pairs, [2]opinion.State{ix.states[i], ix.states[j]})
-					keys = append(keys, [2]int{i, j})
-				}
-			}
-		}
-		if len(pairs) > 0 {
-			ds, err := pd.DistancePairs(ctx, pairs)
-			if err != nil {
-				return nil, err
-			}
-			for k, d := range ds {
-				ix.cache[keys[k]] = d
-			}
-		}
+	if err := ix.prefill(ctx); err != nil {
+		return nil, err
 	}
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {

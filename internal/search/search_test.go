@@ -171,3 +171,100 @@ func TestPairwiseMatrix(t *testing.T) {
 		}
 	}
 }
+
+// batchDist is a batch-capable hamming measure that counts exact
+// evaluations and optionally serves admissible lower bounds
+// (|active-count difference| <= hamming distance).
+type batchDist struct {
+	exact  *int
+	bounds bool
+}
+
+func (batchDist) Name() string { return "batch-hamming" }
+
+func (m batchDist) Distance(a, b opinion.State) (float64, error) {
+	*m.exact++
+	return float64(a.DiffCount(b)), nil
+}
+
+func (m batchDist) DistancePairs(ctx context.Context, pairs [][2]opinion.State) ([]float64, error) {
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		*m.exact++
+		out[i] = float64(p[0].DiffCount(p[1]))
+	}
+	return out, nil
+}
+
+func (m batchDist) DistanceLowerBounds(ctx context.Context, pairs [][2]opinion.State) ([]float64, error) {
+	if !m.bounds {
+		return nil, nil
+	}
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		d := p[0].ActiveCount() - p[1].ActiveCount()
+		if d < 0 {
+			d = -d
+		}
+		out[i] = float64(d)
+	}
+	return out, nil
+}
+
+// TestScreenedNearestNeighborsMatchesExhaustive pins the bounds-first
+// scan to the exhaustive one, and checks it actually skips exact
+// evaluations when the bounds can exclude candidates.
+func TestScreenedNearestNeighborsMatchesExhaustive(t *testing.T) {
+	states := fixtureStates(60, 80)
+	ctx := context.Background()
+	for _, k := range []int{1, 3, 10} {
+		exhaustCalls, screenCalls := 0, 0
+		exIx := NewIndex(states, batchDist{exact: &exhaustCalls})
+		scIx := NewIndex(states, batchDist{exact: &screenCalls, bounds: true})
+		for q := 0; q < len(states); q += 7 {
+			query := states[q].Clone()
+			want, err := exIx.NearestNeighbors(ctx, query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := scIx.NearestNeighbors(ctx, query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d q=%d: %d vs %d neighbors", k, q, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d q=%d: neighbor %d: screened %+v != exhaustive %+v",
+						k, q, i, got[i], want[i])
+				}
+			}
+		}
+		if screenCalls >= exhaustCalls {
+			t.Fatalf("k=%d: screening evaluated %d pairs, exhaustive %d — nothing skipped",
+				k, screenCalls, exhaustCalls)
+		}
+	}
+}
+
+// TestPrefillFeedsBetween pins that the dense cache prefill leaves
+// KMedoids' assignment loops with zero further measure calls.
+func TestPrefillFeedsBetween(t *testing.T) {
+	states := fixtureStates(12, 20)
+	calls := 0
+	ix := NewIndex(states, batchDist{exact: &calls})
+	if err := ix.prefill(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after := calls
+	if after != 12*11/2 {
+		t.Fatalf("prefill evaluated %d pairs, want %d", after, 12*11/2)
+	}
+	if _, err := ix.KMedoids(context.Background(), 3, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if calls != after {
+		t.Fatalf("KMedoids made %d extra measure calls after prefill", calls-after)
+	}
+}

@@ -124,10 +124,17 @@ const (
 // Network, which wraps an Engine and manages its lifetime).
 type Engine = core.Engine
 
-// EngineConfig sizes an Engine: worker count (0 = GOMAXPROCS) and
+// EngineConfig sizes an Engine: worker count (0 = GOMAXPROCS),
 // ground-distance cache budget in bytes (0 = 128 MiB, negative =
-// disabled).
+// disabled), and warm-start basis retention budget (0 = 64 MiB,
+// negative = disabled).
 type EngineConfig = core.EngineConfig
+
+// EngineStats is a snapshot of an Engine's cumulative phase timings
+// (SSSP fan-out, transportation solves, bound computation) and
+// warm-start/screening counters; see Engine.Stats. Counters only grow
+// — subtract two snapshots to isolate one batch.
+type EngineStats = core.EngineStats
 
 // StatePair is one (A, B) input of Engine.Pairs.
 type StatePair = core.StatePair
