@@ -16,6 +16,7 @@ type deltaSnapshot struct {
 	GoVersion    string  `json:"go_version"`
 	GOOS         string  `json:"goos"`
 	GOARCH       string  `json:"goarch"`
+	CPUModel     string  `json:"cpu_model"`
 	CPUs         int     `json:"cpus"`
 	Workers      int     `json:"workers"`
 	Users        int     `json:"users"`
@@ -160,6 +161,7 @@ func runDelta(sc scale, seed int64) {
 		GoVersion:    runtime.Version(),
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
+		CPUModel:     hostCPUModel(),
 		CPUs:         runtime.NumCPU(),
 		Workers:      warm.Engine().Workers(),
 		Users:        g.N(),

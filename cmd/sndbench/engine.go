@@ -20,6 +20,7 @@ type engineSnapshot struct {
 	GoVersion     string  `json:"go_version"`
 	GOOS          string  `json:"goos"`
 	GOARCH        string  `json:"goarch"`
+	CPUModel      string  `json:"cpu_model"`
 	CPUs          int     `json:"cpus"`
 	Workers       int     `json:"workers"`
 	Users         int     `json:"users"`
@@ -103,6 +104,7 @@ func runEngine(sc scale, seed int64) {
 		GoVersion:     runtime.Version(),
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
+		CPUModel:      hostCPUModel(),
 		CPUs:          runtime.NumCPU(),
 		Workers:       nw.Engine().Workers(),
 		Users:         g.N(),

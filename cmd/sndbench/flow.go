@@ -16,6 +16,7 @@ type flowSnapshot struct {
 	GoVersion string `json:"go_version"`
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
+	CPUModel  string `json:"cpu_model"`
 	CPUs      int    `json:"cpus"`
 
 	Users  int `json:"users"`
@@ -284,6 +285,7 @@ func runFlow(sc scale, seed int64) {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		CPUModel:  hostCPUModel(),
 		CPUs:      runtime.NumCPU(),
 		Users:     g.N(),
 		Edges:     g.M(),

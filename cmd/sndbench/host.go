@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os"
+	"strings"
+)
+
+// hostCPUModel returns the host CPU's model string, so every committed
+// BENCH_*.json records the hardware baseline its numbers were measured
+// on. Reads /proc/cpuinfo (Linux); "unknown" elsewhere.
+func hostCPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(name) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return "unknown"
+}

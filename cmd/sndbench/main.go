@@ -39,6 +39,11 @@ type scale struct {
 	fig12N                            int
 	fig12Deltas                       []int
 	ssspN, ssspStates                 int
+
+	// scalingcores: the cores-axis experiment (BENCH_scaling.json).
+	scalingN, scalingStates, scalingTicks int
+	scalingMatrix, scalingNNQueries       int
+	scalingNNK                            int
 }
 
 var presets = map[string]scale{
@@ -63,6 +68,10 @@ var presets = map[string]scale{
 		// The sssp experiment pins n = 20000 even at the small preset:
 		// it is the committed BENCH_sssp.json acceptance workload.
 		ssspN: 20000, ssspStates: 6,
+		// Small scalingcores doubles as the CI smoke: fast enough per
+		// worker count that the whole axis fits a CI job.
+		scalingN: 4000, scalingStates: 8, scalingTicks: 12,
+		scalingMatrix: 6, scalingNNQueries: 4, scalingNNK: 3,
 	},
 	"medium": {
 		fig7N: 10000, fig7States: 40,
@@ -79,6 +88,10 @@ var presets = map[string]scale{
 		fig12Deltas:    []int{100, 500, 1000, 2000, 4000},
 		ssspN:          20000,
 		ssspStates:     10,
+		// Medium scalingcores is the committed BENCH_scaling.json
+		// workload: the n = 20000 acceptance graph.
+		scalingN: 20000, scalingStates: 10, scalingTicks: 24,
+		scalingMatrix: 8, scalingNNQueries: 6, scalingNNK: 3,
 	},
 	"paper": {
 		fig7N: 20000, fig7States: 40,
@@ -95,14 +108,17 @@ var presets = map[string]scale{
 		fig12Deltas:    []int{500, 1000, 2000, 4000, 6000, 8000, 10000},
 		ssspN:          50000,
 		ssspStates:     12,
+		scalingN:       50000, scalingStates: 12, scalingTicks: 32,
+		scalingMatrix: 10, scalingNNQueries: 8, scalingNNK: 4,
 	},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, sssp, flow, or all")
+	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, sssp, flow, scalingcores, or all")
 	preset := flag.String("preset", "small", "size preset: small, medium, paper")
 	seed := flag.Int64("seed", 42, "master random seed")
-	flag.StringVar(&benchJSONPath, "benchjson", "", "write the engine experiment's snapshot to this JSON file")
+	flag.StringVar(&benchJSONPath, "benchjson", "", "write the selected experiment's snapshot to this JSON file")
+	flag.BoolVar(&checkScaling, "checkscaling", false, "scalingcores: exit nonzero unless speedup is monotone in workers within the host's cores")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
@@ -123,20 +139,21 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	runners := map[string]func(scale, int64){
-		"fig7":     runFig7,
-		"fig8":     runFig8,
-		"fig9":     runFig9,
-		"table1":   runTable1,
-		"fig10":    runFig10,
-		"fig11":    runFig11,
-		"fig12":    runFig12,
-		"ablation": runAblation,
-		"engine":   runEngine,
-		"delta":    runDelta,
-		"sssp":     runSSSP,
-		"flow":     runFlow,
+		"fig7":         runFig7,
+		"fig8":         runFig8,
+		"fig9":         runFig9,
+		"table1":       runTable1,
+		"fig10":        runFig10,
+		"fig11":        runFig11,
+		"fig12":        runFig12,
+		"ablation":     runAblation,
+		"engine":       runEngine,
+		"delta":        runDelta,
+		"sssp":         runSSSP,
+		"flow":         runFlow,
+		"scalingcores": runScalingCores,
 	}
-	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta", "sssp", "flow"}
+	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta", "sssp", "flow", "scalingcores"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = order

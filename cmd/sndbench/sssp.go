@@ -25,6 +25,7 @@ type ssspSnapshot struct {
 	GoVersion       string             `json:"go_version"`
 	GOOS            string             `json:"goos"`
 	GOARCH          string             `json:"goarch"`
+	CPUModel        string             `json:"cpu_model"`
 	CPUs            int                `json:"cpus"`
 	Users           int                `json:"users"`
 	Edges           int                `json:"edges"`
@@ -193,6 +194,7 @@ func runSSSP(sc scale, seed int64) {
 		GoVersion:       runtime.Version(),
 		GOOS:            runtime.GOOS,
 		GOARCH:          runtime.GOARCH,
+		CPUModel:        hostCPUModel(),
 		CPUs:            runtime.NumCPU(),
 		Users:           g.N(),
 		Edges:           g.M(),

@@ -40,8 +40,8 @@
 // # Lifecycle
 //
 // Construct one Network per graph and reuse it: the handle owns a
-// concurrent compute engine whose per-worker scratch arenas and shared
-// ground-distance cache amortize across calls. A handle owns no
+// concurrent compute engine whose per-worker scratch arenas and
+// sharded ground-distance cache amortize across calls. A handle owns no
 // goroutines between calls — its idle footprint is memory. Close
 // releases the cache immediately and fails all further calls with an
 // error wrapping ErrEngineClosed; everything derived from the handle
@@ -105,6 +105,19 @@
 // window shortens itself rather than starve the newest states. Batch
 // reference states (Pairs/Matrix traffic) are retained first-come
 // until the budget is spent, as before.
+//
+// The provider's mutable state is sharded, not global: entries are
+// spread across 32 independent lock domains by reference-state
+// fingerprint, each owning its slice of the map and a small diff
+// memo, so concurrent terms touching different reference states never
+// contend on one mutex. The byte budget stays whole — one lock-free
+// atomic drawn on only by retention and eviction — so a single
+// reference state's working set can still use the entire
+// GroundCacheBytes. Published entries are immutable — readers lock
+// only to look up, never to use — and racing derivations resolve
+// first-writer-wins. Engine.Stats merges per-shard retention into the
+// GroundRefs/GroundBytes gauges. See docs/ARCHITECTURE.md for the
+// full data-ownership and lock-ordering rules.
 //
 // # The goal-pruned SSSP fan-out
 //
@@ -224,7 +237,10 @@
 //     with a labelled 2008-2011 event timeline.
 //
 // The cmd/sndbench tool regenerates every table and figure of the
-// paper's evaluation section, plus the engine, delta, sssp, and flow
-// experiments behind the committed BENCH_baseline.json,
-// BENCH_delta.json, BENCH_sssp.json, and BENCH_flow.json snapshots.
+// paper's evaluation section, plus the engine, delta, sssp, flow, and
+// scalingcores experiments behind the committed BENCH_baseline.json,
+// BENCH_delta.json, BENCH_sssp.json, BENCH_flow.json, and
+// BENCH_scaling.json snapshots. docs/ARCHITECTURE.md maps the layers
+// and their locking rules; docs/PERFORMANCE.md is the tuning handbook
+// (every knob, every snapshot, how to read Engine.Stats).
 package snd

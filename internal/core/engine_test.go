@@ -364,7 +364,7 @@ func TestGroundProviderEvictRef(t *testing.T) {
 	g := engineTestGraph(80, 11)
 	opts := DefaultOptions().withDefaults()
 	p := newGroundProvider(g, opts.Costs, opts.Heap, 1<<20, infCost(g.N(), opts.Costs.MaxCost(), opts.EscapeHops))
-	budget0 := p.budget
+	budget0 := p.budgetRemaining()
 	states := engineTestStates(g.N(), 2, 10, 12)
 	hA, hB := hashState(states[0]), hashState(states[1])
 	p.weights(hA, states[0], opinion.Positive, false)
@@ -376,15 +376,13 @@ func TestGroundProviderEvictRef(t *testing.T) {
 	// snapshot (the diff base for derivations).
 	spentB := int64(g.M()*4 + g.N()*12 + g.N())
 	p.evictRef(hA)
-	if p.budget != budget0-spentB {
-		t.Errorf("budget after evict = %d, want %d (refund of A's bytes only)", p.budget, budget0-spentB)
+	if got := p.budgetRemaining(); got != budget0-spentB {
+		t.Errorf("budget after evict = %d, want %d (refund of A's bytes only)", got, budget0-spentB)
 	}
-	p.mu.RLock()
-	if _, ok := p.refs[hA]; ok {
+	if p.lookup(hA) != nil {
 		t.Error("evicted entry still present")
 	}
-	entB := p.refs[hB]
-	p.mu.RUnlock()
+	entB := p.lookup(hB)
 	if entB == nil || entB.side[opIdx(opinion.Negative)].fwdW == nil {
 		t.Error("unrelated ref's weights were evicted")
 	}
@@ -392,8 +390,8 @@ func TestGroundProviderEvictRef(t *testing.T) {
 		t.Error("unrelated ref's tree was evicted")
 	}
 	p.evictRef(hB)
-	if p.budget != budget0 {
-		t.Errorf("budget after evicting everything = %d, want full refund %d", p.budget, budget0)
+	if got := p.budgetRemaining(); got != budget0 {
+		t.Errorf("budget after evicting everything = %d, want full refund %d", got, budget0)
 	}
 }
 

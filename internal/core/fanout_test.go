@@ -113,9 +113,7 @@ func TestTrackedRefBuildsTreesAfterUntrackedUse(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := e.prov
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	ent := p.refs[hashState(a)]
+	ent := p.lookup(hashState(a))
 	if ent == nil || !ent.tracked {
 		t.Fatal("reference state a not tracked after AdvanceRef")
 	}

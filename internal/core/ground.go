@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"snd/internal/graph"
 	"snd/internal/opinion"
@@ -24,6 +25,32 @@ import (
 // O(N + M) per term. Results are bit-identical either way; the
 // derivation is purely a cost decision.
 //
+// # Sharding
+//
+// The provider is the only state every worker touches on every row and
+// cost lookup, so its locking is sharded: entries are distributed
+// across providerShards independent lock domains by reference-state
+// fingerprint, each with its own RWMutex, refs map, and diff memo.
+// Workers evaluating terms of different reference states (the common
+// case — a Series batch alternates reference states, a Matrix batch
+// scatters them) therefore never contend on a lock, and workers
+// sharing one reference state contend only with each other. The byte
+// budget is deliberately NOT split per shard: all rows and trees of
+// one reference state land in one shard, so a per-shard slice would
+// cap each state's working set at 1/providerShards of the configured
+// bytes and starve warm Series/Step traffic. Instead the remaining
+// budget is a single lock-free atomic — touched only on retention and
+// eviction events, which are rare next to lookups — while the used
+// gauges stay shard-local and merge on Stats(). Published entry data
+// (cost slices, tree rows) is immutable, exactly as before sharding,
+// so a reader that obtained a slice holds it without any lock.
+//
+// The tracked window is the one piece of genuinely global state: it
+// orders reference states by recency across shards. It has its own
+// mutex, taken only on the delta-advance path (one Step/Apply per
+// tick) and on donor scans (a handful per derived reference state),
+// never on the per-row fast path.
+//
 // # Retention
 //
 // Entries are keyed by state content (the engine's 128-bit state
@@ -37,9 +64,9 @@ import (
 // monitoring workload's budget on reference states that can still
 // recur or serve as repair donors. Untracked entries (batch
 // Pairs/Matrix traffic) are retained first-come until the byte budget
-// is spent, exactly like the flat cache this subsystem replaces. Close
-// empties the provider and zeroes the budget so nothing further is
-// retained.
+// is spent, exactly like the flat cache this subsystem replaces.
+// Close empties the provider and zeroes the budget so nothing further
+// is retained.
 //
 // # What a delta invalidates
 //
@@ -75,19 +102,58 @@ type groundProvider struct {
 	repairPool sync.Pool // *sssp.RepairScratch
 	parentPool sync.Pool // *[]int32 Dijkstra parent scratch (non-local models)
 
-	mu        sync.RWMutex
-	budget    int64
-	budgetCap int64 // the initial budget, for retention pressure checks
-	refs      map[hashKey]*groundRef
-	window    []hashKey // tracked reference states, oldest first
+	// shards are the provider's lock domains; shardMask selects one by
+	// fingerprint.
+	shards    []groundShard
+	shardMask uint64
+	// budget is the remaining retention bytes, global across shards
+	// (see the sharding note above); budgetCap is its initial value,
+	// kept for retention-pressure checks. Mutated only on retention
+	// and eviction; read lock-free on the hot path's has-budget
+	// checks.
+	budget    atomic.Int64
+	budgetCap int64
 
-	// diffMu guards a small memo of (donor, target) state diffs and
-	// their incident dirty-edge sets: within one batch the same donor
-	// serves every repaired tree of a reference state, so the diff and
-	// its edge expansion are computed once, not once per source.
+	// winMu guards the tracked-reference-state window (oldest first).
+	// It orders recency across shards and is taken only on the
+	// advance/evict path and on donor scans — never per row.
+	winMu  sync.Mutex
+	window []hashKey
+}
+
+// groundShard is one lock domain of the provider: a slice of the refs
+// keyspace with its own mutex and diff memo. used tracks the bytes
+// retained by this shard's entries — an atomic mutated under mu but
+// readable without it, so Stats() merges shards lock-free.
+type groundShard struct {
+	mu   sync.RWMutex
+	refs map[hashKey]*groundRef
+	used atomic.Int64 // retained bytes (merged by Stats)
+
+	// diffMu guards this shard's memo of (donor, target) state diffs
+	// and their incident dirty-edge sets, keyed by the target's shard:
+	// within one batch the same donor serves every repaired tree of a
+	// reference state, so the diff and its edge expansion are computed
+	// once, not once per source.
 	diffMu   sync.Mutex
 	diffMemo map[diffKey]*diffEntry
+
+	// pad keeps neighboring shards' hot words (the RWMutex reader
+	// count, the used atomic) off one cache line: shards live in a
+	// contiguous slice and are hammered from every worker.
+	_ [64]byte //nolint:unused
 }
+
+// providerShards is the number of provider lock domains. A fixed small
+// power of two: enough that 8-32 workers hashing scattered reference
+// states rarely collide on a lock, small enough that the shard slice
+// (each padded to its own cache lines) stays a trivial footprint.
+const providerShards = 32
+
+// shardDiffMemoCap bounds one shard's diff memo; the memo only
+// accelerates the current working set, so past the cap it is rebuilt
+// fresh rather than evicted entry-wise.
+const shardDiffMemoCap = 32
 
 type diffKey struct {
 	donor, target hashKey
@@ -110,7 +176,9 @@ type diffEntry struct {
 // a repairable donor tree instead of paying a cold Dijkstra.
 const providerWindow = 64
 
-// groundRef is the provider's record of one reference state.
+// groundRef is the provider's record of one reference state. Its
+// fields are written only under the owning shard's mutex; published
+// slices are immutable.
 type groundRef struct {
 	state   opinion.State // snapshot: the diff base for derivations
 	tracked bool          // in the window (reported via AdvanceRef)
@@ -153,17 +221,65 @@ func opIdx(op opinion.Opinion) int {
 
 func newGroundProvider(g *graph.Digraph, costs opinion.GroundCosts, heap pqueue.Kind, budget, capAt int64) *groundProvider {
 	_, local := costs.Model.(opinion.LocalPenaltyModel)
-	return &groundProvider{
+	p := &groundProvider{
 		g:         g,
 		costs:     costs,
 		heap:      heap,
 		maxCost:   costs.MaxCost(),
 		capAt:     capAt,
 		local:     local,
-		budget:    budget,
-		budgetCap: budget,
-		refs:      make(map[hashKey]*groundRef),
+		shards:    make([]groundShard, providerShards),
+		shardMask: providerShards - 1,
 	}
+	p.budgetCap = budget
+	p.budget.Store(budget)
+	for i := range p.shards {
+		p.shards[i].refs = make(map[hashKey]*groundRef)
+	}
+	return p
+}
+
+// shardFor selects h's lock domain. Both fingerprint halves mix in so
+// shard balance survives either hash being weak on low bits.
+func (p *groundProvider) shardFor(h hashKey) *groundShard {
+	return &p.shards[(h[0]^h[1])&p.shardMask]
+}
+
+// budgetRemaining reports the remaining retention bytes (lock-free).
+func (p *groundProvider) budgetRemaining() int64 {
+	return p.budget.Load()
+}
+
+// retention merges the shards into one snapshot: live entries and
+// retained bytes (Engine.Stats surfaces both).
+func (p *groundProvider) retention() (refs int64, bytes int64) {
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.RLock()
+		refs += int64(len(s.refs))
+		s.mu.RUnlock()
+		bytes += s.used.Load()
+	}
+	return refs, bytes
+}
+
+// lookup returns the entry for h (nil when absent); the entry's
+// published slices are immutable, but its maps and flags must only be
+// inspected while no writer can run (tests, quiescent assertions).
+func (p *groundProvider) lookup(h hashKey) *groundRef {
+	s := p.shardFor(h)
+	s.mu.RLock()
+	ent := s.refs[h]
+	s.mu.RUnlock()
+	return ent
+}
+
+// windowLen reports the tracked-window depth.
+func (p *groundProvider) windowLen() int {
+	p.winMu.Lock()
+	n := len(p.window)
+	p.winMu.Unlock()
+	return n
 }
 
 // deriveDiffCap bounds how wide an opinion diff a derivation chases:
@@ -204,94 +320,105 @@ func (p *groundProvider) advance(prev, next opinion.State, changed []int32) {
 	if hp == hn {
 		return
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.trackLocked(hp, prev)
-	p.trackLocked(hn, next)
+	p.winMu.Lock()
+	defer p.winMu.Unlock()
+	p.trackWindowLocked(hp, prev)
+	p.trackWindowLocked(hn, next)
 	for len(p.window) > providerWindow {
 		old := p.window[0]
 		p.window = p.window[1:]
-		p.evictLocked(old)
+		p.evictEntry(old)
 	}
 	// Retention pressure: on graphs whose per-state footprint is large
 	// relative to the budget, a full-depth window would starve the
 	// current states of tree storage, degrading every row to a cold
 	// Dijkstra. Retire history early instead — the newest states are
 	// the useful repair donors.
-	for len(p.window) > 4 && p.budget < p.budgetCap/8 {
+	for len(p.window) > 4 && p.budgetRemaining() < p.budgetCap/8 {
 		old := p.window[0]
 		p.window = p.window[1:]
-		p.evictLocked(old)
+		p.evictEntry(old)
 	}
 }
 
-// trackLocked enrolls h in the window (creating an entry, with its
-// state snapshot, if needed); a state already in the window keeps its
-// position.
-func (p *groundProvider) trackLocked(h hashKey, st opinion.State) {
-	ent := p.entryLocked(h, st)
-	if ent.tracked {
-		return
-	}
+// trackWindowLocked enrolls h in the window (creating an entry, with
+// its state snapshot, in h's shard if needed); a state already in the
+// window keeps its position. Callers hold p.winMu.
+func (p *groundProvider) trackWindowLocked(h hashKey, st opinion.State) {
+	s := p.shardFor(h)
+	s.mu.Lock()
+	ent := p.entryLocked(s, h, st)
+	already := ent.tracked
 	ent.tracked = true
-	p.window = append(p.window, h)
+	s.mu.Unlock()
+	if !already {
+		p.window = append(p.window, h)
+	}
 }
 
-// entryLocked returns the entry for h, creating it (with a snapshot of
-// st, charged to the budget) if absent.
-func (p *groundProvider) entryLocked(h hashKey, st opinion.State) *groundRef {
-	ent := p.refs[h]
+// entryLocked returns s's entry for h, creating it (with a snapshot of
+// st, charged to the budget) if absent. Callers hold s.mu.
+func (p *groundProvider) entryLocked(s *groundShard, h hashKey, st opinion.State) *groundRef {
+	ent := s.refs[h]
 	if ent == nil {
 		ent = &groundRef{}
-		p.refs[h] = ent
+		s.refs[h] = ent
 	}
 	if ent.state == nil && st != nil {
-		if cost := int64(len(st)); p.budget >= cost {
+		if cost := int64(len(st)); p.budget.Load() >= cost {
 			ent.state = st.Clone()
 			ent.bytes += cost
-			p.budget -= cost
+			p.budget.Add(-cost)
+			s.used.Add(cost)
 		}
 	}
 	return ent
 }
 
-func (p *groundProvider) evictLocked(h hashKey) {
-	if ent := p.refs[h]; ent != nil {
-		p.budget += ent.bytes
-		delete(p.refs, h)
+// evictEntry drops h's entry from its shard and refunds its bytes.
+func (p *groundProvider) evictEntry(h hashKey) {
+	s := p.shardFor(h)
+	s.mu.Lock()
+	if ent := s.refs[h]; ent != nil {
+		p.budget.Add(ent.bytes)
+		s.used.Add(-ent.bytes)
+		delete(s.refs, h)
 	}
+	s.mu.Unlock()
 }
 
 // evictRef drops the entry of the given reference state and refunds
 // its bytes.
 func (p *groundProvider) evictRef(h hashKey) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.winMu.Lock()
 	for i, wh := range p.window {
 		if wh == h {
 			p.window = append(p.window[:i], p.window[i+1:]...)
 			break
 		}
 	}
-	p.evictLocked(h)
+	p.evictEntry(h)
+	p.winMu.Unlock()
 }
 
-// clear empties the provider and zeroes the budget so no future insert
+// clear empties every shard and zeroes the budget so no future insert
 // is retained; in-flight readers holding previously fetched slices are
 // unaffected (entries are immutable).
 func (p *groundProvider) clear() {
-	p.mu.Lock()
-	p.refs = make(map[hashKey]*groundRef)
+	p.winMu.Lock()
 	p.window = nil
-	p.budget = 0
-	p.mu.Unlock()
-}
-
-func (p *groundProvider) hasBudget(cost int64) bool {
-	p.mu.RLock()
-	ok := p.budget >= cost
-	p.mu.RUnlock()
-	return ok
+	p.winMu.Unlock()
+	p.budget.Store(0)
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		s.refs = make(map[hashKey]*groundRef)
+		s.used.Store(0)
+		s.mu.Unlock()
+		s.diffMu.Lock()
+		s.diffMemo = nil
+		s.diffMu.Unlock()
+	}
 }
 
 // donor describes a retained entry a derivation can diff against.
@@ -304,25 +431,28 @@ type donor struct {
 }
 
 // diffFor returns the memoized user diff between the donor and target
-// states; ok is false when it exceeds the derivation cap.
+// states; ok is false when it exceeds the derivation cap. The memo
+// lives in the target's shard (the shard the derivation will publish
+// into), so concurrent derivations of unrelated states never contend.
 func (p *groundProvider) diffFor(donorHash, targetHash hashKey, donorState, targetState opinion.State) (*diffEntry, bool) {
+	s := p.shardFor(targetHash)
 	k := diffKey{donor: donorHash, target: targetHash}
-	p.diffMu.Lock()
-	if p.diffMemo == nil {
-		p.diffMemo = make(map[diffKey]*diffEntry)
+	s.diffMu.Lock()
+	if s.diffMemo == nil {
+		s.diffMemo = make(map[diffKey]*diffEntry)
 	}
-	ent := p.diffMemo[k]
+	ent := s.diffMemo[k]
 	if ent == nil {
 		users, ok := diffUsers(donorState, targetState, p.deriveDiffCap())
 		ent = &diffEntry{users: users, failed: !ok}
-		if len(p.diffMemo) >= 128 {
+		if len(s.diffMemo) >= shardDiffMemoCap {
 			// The memo only accelerates the current working set; a
 			// fresh map keeps it from outliving the window.
-			p.diffMemo = make(map[diffKey]*diffEntry)
+			s.diffMemo = make(map[diffKey]*diffEntry)
 		}
-		p.diffMemo[k] = ent
+		s.diffMemo[k] = ent
 	}
-	p.diffMu.Unlock()
+	s.diffMu.Unlock()
 	if ent.failed {
 		return nil, false
 	}
@@ -353,25 +483,35 @@ func (p *groundProvider) dirtyFor(donorHash, targetHash hashKey, donorState, tar
 // state jumped wide and then resumed small deltas).
 const maxDonorCandidates = 4
 
-// findDonorsLocked scans the tracked window, newest first, for entries
-// whose state snapshot is present and which have the wanted datum,
-// returning up to maxDonorCandidates of them. want inspects one entry
-// and returns the donor payload, or false. Callers hold p.mu (read).
-func (p *groundProvider) findDonorsLocked(skip hashKey, want func(*groundRef) (donor, bool)) []donor {
+// findDonors scans the tracked window, newest first, for entries whose
+// state snapshot is present and which have the wanted datum, returning
+// up to maxDonorCandidates of them. want inspects one entry — called
+// with that entry's shard read-locked — and returns the donor payload,
+// or false. The window is snapshotted up front so no shard lock nests
+// inside the window lock on this path.
+func (p *groundProvider) findDonors(skip hashKey, want func(*groundRef) (donor, bool)) []donor {
+	p.winMu.Lock()
+	win := make([]hashKey, len(p.window))
+	copy(win, p.window)
+	p.winMu.Unlock()
 	var out []donor
-	for i := len(p.window) - 1; i >= 0 && len(out) < maxDonorCandidates; i-- {
-		h := p.window[i]
+	for i := len(win) - 1; i >= 0 && len(out) < maxDonorCandidates; i-- {
+		h := win[i]
 		if h == skip {
 			continue
 		}
-		ent := p.refs[h]
+		s := p.shardFor(h)
+		s.mu.RLock()
+		ent := s.refs[h]
 		if ent == nil || ent.state == nil {
+			s.mu.RUnlock()
 			continue
 		}
 		if d, ok := want(ent); ok {
 			d.hash, d.state = h, ent.state
 			out = append(out, d)
 		}
+		s.mu.RUnlock()
 	}
 	return out
 }
@@ -382,8 +522,9 @@ func (p *groundProvider) findDonorsLocked(skip hashKey, want func(*groundRef) (d
 // materialization. st must be the state that ref fingerprints.
 func (p *groundProvider) weights(ref hashKey, st opinion.State, op opinion.Opinion, reversed bool) []int32 {
 	oi := opIdx(op)
-	p.mu.RLock()
-	ent := p.refs[ref]
+	s := p.shardFor(ref)
+	s.mu.RLock()
+	ent := s.refs[ref]
 	var w []int32
 	if ent != nil {
 		if reversed {
@@ -392,7 +533,7 @@ func (p *groundProvider) weights(ref hashKey, st opinion.State, op opinion.Opini
 			w = ent.side[oi].fwdW
 		}
 	}
-	p.mu.RUnlock()
+	s.mu.RUnlock()
 	if w != nil {
 		return w
 	}
@@ -414,14 +555,12 @@ func (p *groundProvider) deriveForward(ref hashKey, st opinion.State, op opinion
 		return nil
 	}
 	oi := opIdx(op)
-	p.mu.RLock()
-	donors := p.findDonorsLocked(ref, func(ent *groundRef) (donor, bool) {
+	donors := p.findDonors(ref, func(ent *groundRef) (donor, bool) {
 		if fw := ent.side[oi].fwdW; fw != nil {
 			return donor{fwdW: fw}, true
 		}
 		return donor{}, false
 	})
-	p.mu.RUnlock()
 	for _, d := range donors {
 		de, ok := p.diffFor(d.hash, ref, d.state, st)
 		if !ok {
@@ -445,14 +584,12 @@ func (p *groundProvider) deriveReverse(ref hashKey, st opinion.State, op opinion
 	fw := p.weights(ref, st, op, false)
 	var rw []int32
 	if p.local {
-		p.mu.RLock()
-		donors := p.findDonorsLocked(ref, func(ent *groundRef) (donor, bool) {
+		donors := p.findDonors(ref, func(ent *groundRef) (donor, bool) {
 			if arw := ent.side[oi].revW; arw != nil {
 				return donor{revW: arw}, true
 			}
 			return donor{}, false
 		})
-		p.mu.RUnlock()
 		for _, d := range donors {
 			if edges, _, ok := p.dirtyFor(d.hash, ref, d.state, st, false); ok {
 				rw = make([]int32, len(d.revW))
@@ -474,9 +611,10 @@ func (p *groundProvider) deriveReverse(ref hashKey, st opinion.State, op opinion
 // the published slice.
 func (p *groundProvider) putWeights(ref hashKey, st opinion.State, oi int, reversed bool, w []int32) []int32 {
 	cost := int64(len(w)) * 4
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ent := p.entryLocked(ref, st)
+	sh := p.shardFor(ref)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent := p.entryLocked(sh, ref, st)
 	s := &ent.side[oi]
 	if reversed {
 		if s.revW != nil {
@@ -485,10 +623,11 @@ func (p *groundProvider) putWeights(ref hashKey, st opinion.State, oi int, rever
 	} else if s.fwdW != nil {
 		return s.fwdW
 	}
-	if p.budget < cost {
+	if p.budget.Load() < cost {
 		return w // usable, just not retained
 	}
-	p.budget -= cost
+	p.budget.Add(-cost)
+	sh.used.Add(cost)
 	ent.bytes += cost
 	if reversed {
 		s.revW = w
@@ -520,8 +659,9 @@ func (p *groundProvider) rowGoals(ref hashKey, st opinion.State, op opinion.Opin
 	var row []int64
 	var crow []int32
 	tracked := false
-	p.mu.RLock()
-	if ent := p.refs[ref]; ent != nil {
+	sh := p.shardFor(ref)
+	sh.mu.RLock()
+	if ent := sh.refs[ref]; ent != nil {
 		tracked = ent.tracked
 		if tr := ent.side[oi].trees[tk]; tr != nil {
 			row = tr.dist
@@ -529,7 +669,7 @@ func (p *groundProvider) rowGoals(ref hashKey, st opinion.State, op opinion.Opin
 			crow = ent.side[oi].rows[tk]
 		}
 	}
-	p.mu.RUnlock()
+	sh.mu.RUnlock()
 	switch {
 	case row != nil:
 	case tracked:
@@ -547,7 +687,7 @@ func (p *groundProvider) rowGoals(ref hashKey, st opinion.State, op opinion.Opin
 		}
 	case crow == nil:
 		n := p.g.N()
-		if p.capAt <= 0 || p.capAt > math.MaxInt32 || !p.hasBudget(int64(n)*4) {
+		if p.capAt <= 0 || p.capAt > math.MaxInt32 || p.budget.Load() < int64(n)*4 {
 			return false
 		}
 		srcGraph := p.g
@@ -584,10 +724,11 @@ func (p *groundProvider) rowGoals(ref hashKey, st opinion.State, op opinion.Opin
 // next tick's delta repairs derive from), so the shortcut stands down
 // for it.
 func (p *groundProvider) isTracked(ref hashKey) bool {
-	p.mu.RLock()
-	ent := p.refs[ref]
+	s := p.shardFor(ref)
+	s.mu.RLock()
+	ent := s.refs[ref]
 	tracked := ent != nil && ent.tracked
-	p.mu.RUnlock()
+	s.mu.RUnlock()
 	return tracked
 }
 
@@ -599,9 +740,10 @@ func (p *groundProvider) isTracked(ref hashKey) bool {
 func (p *groundProvider) peekRow(ref hashKey, op opinion.Opinion, reversed bool, src int32) (dist []int64, compact []int32, ok bool) {
 	oi := opIdx(op)
 	tk := treeKey{reversed: reversed, src: src}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	ent := p.refs[ref]
+	s := p.shardFor(ref)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ent := s.refs[ref]
 	if ent == nil {
 		return nil, nil, false
 	}
@@ -618,9 +760,10 @@ func (p *groundProvider) peekRow(ref hashKey, op opinion.Opinion, reversed bool,
 // returns the published slice.
 func (p *groundProvider) putRow(ref hashKey, st opinion.State, oi int, tk treeKey, c []int32) []int32 {
 	cost := int64(len(c)) * 4
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ent := p.entryLocked(ref, st)
+	sh := p.shardFor(ref)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent := p.entryLocked(sh, ref, st)
 	s := &ent.side[oi]
 	if s.rows == nil {
 		s.rows = make(map[treeKey][]int32)
@@ -628,8 +771,9 @@ func (p *groundProvider) putRow(ref hashKey, st opinion.State, oi int, tk treeKe
 	if dup := s.rows[tk]; dup != nil {
 		return dup
 	}
-	if p.budget >= cost {
-		p.budget -= cost
+	if p.budget.Load() >= cost {
+		p.budget.Add(-cost)
+		sh.used.Add(cost)
 		ent.bytes += cost
 		s.rows[tk] = c
 	}
@@ -639,40 +783,40 @@ func (p *groundProvider) putRow(ref hashKey, st opinion.State, oi int, tk treeKe
 // row returns the shortest-path distance row from src under (ref, op)
 // in the given direction, serving it by cache hit, by repairing a
 // clone of the closest retained tree over the diff's dirty edges, or
-// by a fresh Dijkstra — retaining the tree when the budget allows. The
-// parent array (the seed of future repairs) is retained only under a
-// local cost model; non-local models can never repair, so for them the
-// retained tree is a dist-only row at the replaced flat cache's byte
-// cost. ok is false when the budget is spent; the caller computes into
-// its own scratch instead.
+// by a fresh Dijkstra — retaining the tree when the shard's budget
+// allows. The parent array (the seed of future repairs) is retained
+// only under a local cost model; non-local models can never repair, so
+// for them the retained tree is a dist-only row at the replaced flat
+// cache's byte cost. ok is false when the budget is spent; the caller
+// computes into its own scratch instead.
 func (p *groundProvider) row(ref hashKey, st opinion.State, op opinion.Opinion, reversed bool, src int32, w []int32) ([]int64, bool) {
 	oi := opIdx(op)
 	tk := treeKey{reversed: reversed, src: src}
-	var donors []donor
-	p.mu.RLock()
-	ent := p.refs[ref]
-	if ent != nil {
+	sh := p.shardFor(ref)
+	sh.mu.RLock()
+	if ent := sh.refs[ref]; ent != nil {
 		if tr := ent.side[oi].trees[tk]; tr != nil {
-			p.mu.RUnlock()
+			sh.mu.RUnlock()
 			return tr.dist, true
 		}
 	}
+	sh.mu.RUnlock()
+	var donors []donor
 	if p.local {
-		donors = p.findDonorsLocked(ref, func(e2 *groundRef) (donor, bool) {
+		donors = p.findDonors(ref, func(e2 *groundRef) (donor, bool) {
 			if tr := e2.side[oi].trees[tk]; tr != nil {
 				return donor{tree: tr}, true
 			}
 			return donor{}, false
 		})
 	}
-	p.mu.RUnlock()
 
 	n := p.g.N()
 	cost := int64(n) * 8 // dist row
 	if p.local {
 		cost = int64(n) * 12 // plus the parent array repairs seed from
 	}
-	if !p.hasBudget(cost) {
+	if p.budget.Load() < cost {
 		return nil, false
 	}
 	srcGraph := p.g
@@ -728,9 +872,10 @@ func (p *groundProvider) row(ref hashKey, st opinion.State, op opinion.Opinion, 
 // putTree publishes a tree (first writer wins) and returns the
 // published row.
 func (p *groundProvider) putTree(ref hashKey, st opinion.State, oi int, tk treeKey, tr *spTree, cost int64) []int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ent := p.entryLocked(ref, st)
+	sh := p.shardFor(ref)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent := p.entryLocked(sh, ref, st)
 	s := &ent.side[oi]
 	if s.trees == nil {
 		s.trees = make(map[treeKey]*spTree)
@@ -738,8 +883,9 @@ func (p *groundProvider) putTree(ref hashKey, st opinion.State, oi int, tk treeK
 	if dup := s.trees[tk]; dup != nil {
 		return dup.dist
 	}
-	if p.budget >= cost {
-		p.budget -= cost
+	if p.budget.Load() >= cost {
+		p.budget.Add(-cost)
+		sh.used.Add(cost)
 		ent.bytes += cost
 		s.trees[tk] = tr
 	}

@@ -95,7 +95,7 @@ func TestProviderWindowRetention(t *testing.T) {
 	g := engineTestGraph(120, 5)
 	opts := DefaultOptions().withDefaults()
 	p := newGroundProvider(g, opts.Costs, opts.Heap, 4<<20, infCost(g.N(), opts.Costs.MaxCost(), opts.EscapeHops))
-	budget0 := p.budget
+	budget0 := p.budgetRemaining()
 	rng := rand.New(rand.NewSource(8))
 	st := engineTestStates(g.N(), 1, 0, 9)[0]
 	hashes := []hashKey{hashState(st)}
@@ -113,10 +113,8 @@ func TestProviderWindowRetention(t *testing.T) {
 		p.row(hn, next, opinion.Positive, false, int32(tick%g.N()), w)
 		st = next
 	}
-	p.mu.RLock()
-	tracked := len(p.window)
-	refCount := len(p.refs)
-	p.mu.RUnlock()
+	tracked := p.windowLen()
+	refCount, _ := p.retention()
 	if tracked > providerWindow {
 		t.Errorf("window holds %d tracked states, cap is %d", tracked, providerWindow)
 	}
@@ -124,10 +122,8 @@ func TestProviderWindowRetention(t *testing.T) {
 		t.Errorf("provider retains %d entries after a long chain, want <= %d", refCount, providerWindow)
 	}
 	// Old states must be gone; the newest must remain.
-	p.mu.RLock()
-	_, oldPresent := p.refs[hashes[0]]
-	_, newPresent := p.refs[hashes[len(hashes)-1]]
-	p.mu.RUnlock()
+	oldPresent := p.lookup(hashes[0]) != nil
+	newPresent := p.lookup(hashes[len(hashes)-1]) != nil
 	if oldPresent {
 		t.Error("oldest tracked state still retained")
 	}
@@ -138,8 +134,11 @@ func TestProviderWindowRetention(t *testing.T) {
 	for _, h := range hashes {
 		p.evictRef(h)
 	}
-	if p.budget != budget0 {
-		t.Errorf("budget = %d after evicting everything, want %d", p.budget, budget0)
+	if got := p.budgetRemaining(); got != budget0 {
+		t.Errorf("budget = %d after evicting everything, want %d", got, budget0)
+	}
+	if _, bytes := p.retention(); bytes != 0 {
+		t.Errorf("retained bytes = %d after evicting everything, want 0", bytes)
 	}
 }
 

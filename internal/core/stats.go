@@ -51,6 +51,13 @@ type EngineStats struct {
 	// were answered without scheduling any term (identical states).
 	// PairBounds counts pair lower bounds served by LowerBounds.
 	Pairs, PairsDecided, PairBounds int64
+	// GroundRefs and GroundBytes snapshot the ground-distance
+	// provider's retention, merged across its lock shards: live
+	// reference-state entries and the bytes they hold (cost arrays,
+	// shortest-path trees, compact rows, state snapshots) against the
+	// GroundCacheBytes budget. Unlike the counters above these are
+	// gauges — they fall on eviction and drop to zero on Close.
+	GroundRefs, GroundBytes int64
 }
 
 // Stats returns a snapshot of the engine's cumulative phase timings and
@@ -58,7 +65,13 @@ type EngineStats struct {
 // snapshots to isolate a batch. Safe for concurrent use.
 func (e *Engine) Stats() EngineStats {
 	s := &e.stats
+	var groundRefs, groundBytes int64
+	if e.prov != nil {
+		groundRefs, groundBytes = e.prov.retention()
+	}
 	return EngineStats{
+		GroundRefs:        groundRefs,
+		GroundBytes:       groundBytes,
 		SSSPTime:          time.Duration(s.ssspNanos.Load()),
 		FlowTime:          time.Duration(s.flowNanos.Load()),
 		BoundTime:         time.Duration(s.boundNanos.Load()),

@@ -34,6 +34,16 @@ import (
 // distances are bit-identical to cold solves; Options.NoWarmStart pins
 // the cold pipeline. The ring is per-worker state: no locks, and hit
 // rates degrade gracefully when terms scatter across workers.
+//
+// Multicore audit note: the ring lives in the worker's scratch arena
+// (scratch.warm), so it is already fully sharded — no mutex, no
+// shared map, no atomic in any warm path; nothing here can serialize
+// workers. The budget is likewise split up front (NewEngine divides
+// WarmCacheBytes by the worker count), so there is no cross-worker
+// rebalancing to contend on. The cost of this shape is lower hit
+// rates when the same term lands on different workers across batches;
+// that is a throughput trade, not a contention point, and the
+// scalingcores benchmark measures it (warm vs cold Series rows).
 
 // warmMinArcs is the smallest instance the warm cache bothers with:
 // below it a cold solve costs about as much as the bookkeeping.

@@ -15,7 +15,8 @@ import (
 // Structured sentinel errors. Every validation failure of the handle
 // API (and of the deprecated free functions, which delegate to it)
 // wraps exactly one of these; branch with errors.Is, not string
-// matching.
+// matching. The sentinels are immutable values, safe to compare from
+// any goroutine.
 var (
 	// ErrStateSize reports a state or delta whose shape does not fit
 	// the network: wrong user count, or a change addressing a user
@@ -41,7 +42,7 @@ var (
 )
 
 // OpinionChange is one entry of a StateDelta: user User's opinion
-// becomes Opinion.
+// becomes Opinion. It is a plain value; copies are independent.
 type OpinionChange struct {
 	User    int
 	Opinion Opinion
@@ -52,7 +53,9 @@ type OpinionChange struct {
 // allowed; the last change wins. Deltas are how a client keeps a
 // million-user state current without re-shipping it: the full state
 // crosses the API once (Network.SetState), every subsequent tick is
-// just its changed coordinates.
+// just its changed coordinates. A StateDelta is a plain slice: do not
+// mutate one while a Network call is consuming it; handing distinct
+// deltas to concurrent calls is fine.
 type StateDelta []OpinionChange
 
 // Network is the long-lived handle of the package: one social graph,
@@ -61,11 +64,14 @@ type StateDelta []OpinionChange
 // workload off it — batch distances, anomaly detection over a series,
 // metric-space search, and online monitoring of an evolving state.
 //
-// All methods are safe for concurrent use. Batch methods take a
-// context.Context and return ctx.Err() when cancelled mid-batch; with
-// an un-cancelled context, results are bit-identical to sequential
-// Distance loops (the engine's tests pin this under the race
-// detector).
+// All methods are safe for concurrent use: any mix of Step, Distance,
+// Matrix, Apply, and Close may race from many goroutines (the tracked
+// state sits under the handle's own mutex; everything else rides the
+// engine's sharded provider and per-worker scratch). Batch methods
+// take a context.Context and return ctx.Err() when cancelled
+// mid-batch; with an un-cancelled context, results are bit-identical
+// to sequential Distance loops (the engine's tests pin this under the
+// race detector).
 //
 // # Lifetime
 //
@@ -172,7 +178,8 @@ func (nw *Network) Explain(ctx context.Context, a, b State) (Result, [4]TermPlan
 // prediction, and search pipelines. The returned measure runs on the
 // handle's engine (batch entry points parallelize) and shares its
 // lifetime: it fails once the handle is closed, and CloseMeasure on it
-// is a no-op — the engine is borrowed, not owned.
+// is a no-op — the engine is borrowed, not owned. Like the handle, the
+// returned measure is safe for concurrent use.
 func (nw *Network) Measure() Measure {
 	return predict.SNDMeasure{G: nw.g, Opts: nw.opts, Engine: nw.eng}
 }
@@ -180,7 +187,10 @@ func (nw *Network) Measure() Measure {
 // Index builds a metric-space index over states under the handle's SND
 // configuration: nearest-neighbor search, classification, and
 // k-medoids clustering (the paper's Section 9 applications). The index
-// runs its bulk distance work on the handle's engine.
+// runs its bulk distance work on the handle's engine — but note that
+// unlike the handle, the returned StateIndex is not safe for
+// concurrent use (it caches pairwise distances without
+// synchronization); build one per goroutine or serialize access.
 func (nw *Network) Index(states []State) *StateIndex {
 	return search.NewIndex(states, nw.Measure())
 }
@@ -360,7 +370,8 @@ func anomalyReport(name string, states []State, dists []float64) (AnomalyReport,
 // constructor implements io.Closer and owns its engine). Measures
 // returned by Network.Measure borrow their handle's engine, so
 // CloseMeasure on them is a safe no-op — close the handle to release
-// it.
+// it. Safe to call concurrently with in-flight work on the measure:
+// closing is idempotent and in-flight batches run to completion.
 func CloseMeasure(m Measure) error {
 	if c, ok := m.(io.Closer); ok {
 		return c.Close()

@@ -1,0 +1,194 @@
+package snd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestNetworkConcurrentMixedTraffic hammers one Network from many
+// goroutines mixing the full API surface — a Step writer advancing the
+// tracked state, Distance readers, a Matrix reader — and pins every
+// result bit-identical to the sequential interleaving. The engine's
+// contract makes this checkable: Distance/Matrix/Step results are pure
+// functions of their input states, so caching, sharded-provider churn
+// (the Step writer evicts and derives window entries while readers
+// race them), warm rings, and work stealing must never leak into a
+// value. Run under -race this is the contention-path coverage for the
+// sharded ground provider.
+func TestNetworkConcurrentMixedTraffic(t *testing.T) {
+	const (
+		n       = 300
+		ticks   = 10
+		readers = 2
+		rounds  = 4
+	)
+	g := ScaleFreeGraph(ScaleFreeConfig{
+		N: n, OutDeg: 5, Exponent: -2.3, Reciprocity: 0.2, Seed: 601,
+	})
+	rng := rand.New(rand.NewSource(602))
+	base := NewState(n)
+	for i := range base {
+		if rng.Float64() < 0.25 {
+			base[i] = Opinion(1 - 2*rng.Intn(2))
+		}
+	}
+	// Precompute the delta trajectory and the states it visits.
+	deltas := make([]StateDelta, ticks)
+	trajectory := []State{base.Clone()}
+	cur := base.Clone()
+	for tk := range deltas {
+		var d StateDelta
+		used := map[int]bool{}
+		for len(d) < 6 {
+			u := rng.Intn(n)
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			op := Opinion(rng.Intn(3) - 1)
+			for op == cur[u] {
+				op = Opinion(rng.Intn(3) - 1)
+			}
+			d = append(d, OpinionChange{User: u, Opinion: op})
+			cur[u] = op
+		}
+		deltas[tk] = d
+		trajectory = append(trajectory, cur.Clone())
+	}
+	opts := DefaultOptions()
+	ctx := context.Background()
+
+	// Sequential ground truth: step results on a single-worker handle,
+	// reader pairs and the matrix on plain Distance/Matrix calls.
+	seq := NewNetwork(g, opts, EngineConfig{Workers: 1})
+	if err := seq.SetState(base); err != nil {
+		t.Fatal(err)
+	}
+	wantStep := make([]float64, ticks)
+	for tk, d := range deltas {
+		r, err := seq.Step(ctx, d)
+		if err != nil {
+			t.Fatalf("sequential step %d: %v", tk, err)
+		}
+		wantStep[tk] = r.SND
+	}
+	type pair struct{ a, b int } // trajectory indices
+	pairs := []pair{{0, 1}, {2, 5}, {1, ticks}, {4, 7}, {0, ticks}}
+	wantDist := make([]float64, len(pairs))
+	for i, pr := range pairs {
+		r, err := seq.Distance(ctx, trajectory[pr.a], trajectory[pr.b])
+		if err != nil {
+			t.Fatalf("sequential pair %d: %v", i, err)
+		}
+		wantDist[i] = r.SND
+	}
+	matrixStates := trajectory[:4]
+	wantMatrix, err := seq.Matrix(ctx, matrixStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent run: one writer stepping the tracked state, Distance
+	// readers replaying the pairs, a Matrix reader — all on one handle.
+	nw := NewNetwork(g, opts, EngineConfig{Workers: 4})
+	if err := nw.SetState(base); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for tk, d := range deltas {
+			r, err := nw.Step(ctx, d)
+			if err != nil {
+				errc <- fmt.Errorf("step %d: %v", tk, err)
+				return
+			}
+			if r.SND != wantStep[tk] {
+				errc <- fmt.Errorf("step %d: SND = %v under concurrency, want %v", tk, r.SND, wantStep[tk])
+				return
+			}
+		}
+	}()
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i, pr := range pairs {
+					r, err := nw.Distance(ctx, trajectory[pr.a], trajectory[pr.b])
+					if err != nil {
+						errc <- fmt.Errorf("reader %d pair %d: %v", rd, i, err)
+						return
+					}
+					if r.SND != wantDist[i] {
+						errc <- fmt.Errorf("reader %d pair %d: SND = %v under concurrency, want %v", rd, i, r.SND, wantDist[i])
+						return
+					}
+				}
+			}
+		}(rd)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < rounds/2; round++ {
+			m, err := nw.Matrix(ctx, matrixStates)
+			if err != nil {
+				errc <- fmt.Errorf("matrix round %d: %v", round, err)
+				return
+			}
+			if !reflect.DeepEqual(m, wantMatrix) {
+				errc <- fmt.Errorf("matrix round %d diverged under concurrency", round)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Close storm: readers race the Close. Each call must either
+	// return the exact sequential value or fail with ErrEngineClosed —
+	// never a wrong value, never a hang.
+	var cwg sync.WaitGroup
+	cerrc := make(chan error, 4)
+	for rd := 0; rd < 4; rd++ {
+		cwg.Add(1)
+		go func(rd int) {
+			defer cwg.Done()
+			for i, pr := range pairs {
+				r, err := nw.Distance(ctx, trajectory[pr.a], trajectory[pr.b])
+				if err != nil {
+					if !errors.Is(err, ErrEngineClosed) {
+						cerrc <- fmt.Errorf("close storm reader %d: %v", rd, err)
+					}
+					return
+				}
+				if r.SND != wantDist[i] {
+					cerrc <- fmt.Errorf("close storm reader %d pair %d: SND = %v, want %v", rd, i, r.SND, wantDist[i])
+					return
+				}
+			}
+		}(rd)
+	}
+	if err := nw.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	cwg.Wait()
+	close(cerrc)
+	for err := range cerrc {
+		t.Error(err)
+	}
+}

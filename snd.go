@@ -22,10 +22,14 @@ import (
 
 // Graph is a directed social network in compressed sparse row form.
 // An edge u->v means v follows u: information published by u reaches v.
+// A built Graph is immutable and safe for concurrent use by any number
+// of goroutines (the engine's transpose view is built once, up front).
 type Graph = graph.Digraph
 
 // GraphBuilder accumulates directed edges and freezes them into a
-// Graph. Duplicates and self-loops are dropped.
+// Graph. Duplicates and self-loops are dropped. A builder is not safe
+// for concurrent use; build from one goroutine, then share the frozen
+// Graph freely.
 type GraphBuilder = graph.Builder
 
 // NewGraphBuilder returns a builder for a graph with n users.
@@ -53,7 +57,11 @@ const (
 	Neutral  = opinion.Neutral
 )
 
-// State is a network state: one opinion per user.
+// State is a network state: one opinion per user. A State is a plain
+// slice: concurrent reads are safe, but callers must not mutate a
+// state while a computation that was handed it is in flight (engine
+// methods only read their arguments, and Network snapshots tracked
+// states defensively).
 type State = opinion.State
 
 // NewState returns an all-neutral state for n users.
@@ -64,10 +72,14 @@ func ReadState(r io.Reader) (State, error) { return opinion.DecodeState(r) }
 
 // Options configures SND: ground-cost model, bank-bin distance,
 // computation engine, flow solver, Dijkstra heap, and bank clustering.
+// Options is a value: copies are independent, and an Engine or Network
+// snapshots the options it was constructed with, so mutating the
+// caller's copy afterwards has no effect and no concurrency hazard.
 type Options = core.Options
 
 // Result reports an SND evaluation: the distance, the four EMD* terms
-// of eq. 3, n-delta, and computation statistics.
+// of eq. 3, n-delta, and computation statistics. Results are plain
+// values owned by the caller.
 type Result = core.Result
 
 // DefaultOptions returns the configuration used by the paper's
@@ -116,30 +128,39 @@ const (
 // Engine is a reusable, concurrency-safe SND compute layer over one
 // fixed graph: it evaluates the four EMD* terms of every distance
 // concurrently across a worker pool, reuses per-worker scratch memory,
-// and shares a ground-distance cache across batch calls. Construct one
-// Engine per graph and reuse it for all Distance/Pairs/Matrix/Series
-// traffic; results are bit-identical to sequential Distance loops for
-// any worker count. Batch methods take a context and return ctx.Err()
-// on cancellation; Close releases the cache (most callers hold a
-// Network, which wraps an Engine and manages its lifetime).
+// and shares a sharded ground-distance provider across batch calls
+// (entries are spread over independent lock domains by reference-state
+// fingerprint, so workers on unrelated states never contend).
+// Construct one Engine per graph and reuse it for all
+// Distance/Pairs/Matrix/Series traffic from any number of goroutines;
+// results are bit-identical to sequential Distance loops for any
+// worker count and any interleaving. Batch methods take a context and
+// return ctx.Err() on cancellation; Close releases the caches (most
+// callers hold a Network, which wraps an Engine and manages its
+// lifetime).
 type Engine = core.Engine
 
 // EngineConfig sizes an Engine: worker count (0 = GOMAXPROCS),
 // ground-distance cache budget in bytes (0 = 128 MiB, negative =
-// disabled), and warm-start basis retention budget (0 = 64 MiB,
-// negative = disabled).
+// disabled; sharded across lock domains internally), and warm-start
+// basis retention budget (0 = 64 MiB, negative = disabled; split
+// per-worker). A config is a plain value read once at construction.
 type EngineConfig = core.EngineConfig
 
 // EngineStats is a snapshot of an Engine's cumulative phase timings
-// (SSSP fan-out, transportation solves, bound computation) and
-// warm-start/screening counters; see Engine.Stats. Counters only grow
-// — subtract two snapshots to isolate one batch.
+// (SSSP fan-out, transportation solves, bound computation),
+// warm-start/screening counters, and the ground provider's merged
+// retention gauges; see Engine.Stats. Counters only grow — subtract
+// two snapshots to isolate one batch. A snapshot is a plain value
+// owned by the caller; Engine.Stats itself is safe to call
+// concurrently with in-flight batches.
 type EngineStats = core.EngineStats
 
 // StatePair is one (A, B) input of Engine.Pairs.
 type StatePair = core.StatePair
 
-// NewEngine builds a concurrent SND engine over g.
+// NewEngine builds a concurrent SND engine over g. The returned
+// engine is safe for concurrent use; see Engine.
 func NewEngine(g *Graph, opts Options, cfg EngineConfig) *Engine {
 	return core.NewEngine(g, opts, cfg)
 }
@@ -203,7 +224,10 @@ func Series(g *Graph, states []State, opts Options) ([]float64, error) {
 }
 
 // Measure is a distance between two network states; SND and every
-// baseline of the paper's evaluation satisfy it.
+// baseline of the paper's evaluation satisfy it. Every measure this
+// package returns is safe for concurrent Distance calls: the SND
+// measure is backed by a concurrency-safe Engine, and the baseline
+// measures are stateless.
 type Measure interface {
 	Distance(a, b State) (float64, error)
 	Name() string
@@ -221,7 +245,8 @@ func SNDMeasure(g *Graph, opts Options) Measure {
 	return predict.SNDMeasure{G: g, Opts: opts, Engine: core.NewEngine(g, opts, core.EngineConfig{}), OwnsEngine: true}
 }
 
-// HammingMeasure counts coordinate-wise opinion disagreements.
+// HammingMeasure counts coordinate-wise opinion disagreements. The
+// measure is stateless and safe for concurrent use.
 func HammingMeasure(n int) Measure { return distance.Hamming{N: n} }
 
 // L1Measure is the l1 distance over the +1/0/-1 opinion encoding.
@@ -367,7 +392,8 @@ func PredictionAccuracy(truth State, targets []int, predicted []Opinion) (float6
 	return predict.Accuracy(truth, targets, predicted)
 }
 
-// Evolution is the Section 6.1 synthetic opinion process.
+// Evolution is the Section 6.1 synthetic opinion process. It owns a
+// private random stream, so it is not safe for concurrent use.
 type Evolution = dynamics.Evolution
 
 // EvolutionParams is one tick's (Pnbr, Pext) activation probabilities.
@@ -395,6 +421,9 @@ func RandomActivationStep(g *Graph, st State, count int, rng *rand.Rand) (State,
 // StateIndex is a collection of network states searchable in the
 // metric space a Measure induces — the paper's Section 9 application:
 // nearest-neighbor search, classification, and clustering of states.
+// An index memoizes pair distances in an unsynchronized cache, so it
+// is NOT safe for concurrent use: query it from one goroutine at a
+// time (the underlying Measure may still be shared across indexes).
 type StateIndex = search.Index
 
 // StateNeighbor is one nearest-neighbor search result.
