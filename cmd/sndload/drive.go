@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snd/internal/serve"
+)
+
+// client is a minimal JSON client for the sndserve wire format.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// do issues one request; non-2xx responses become errors carrying the
+// server's sentinel name.
+func (c *client) do(method, path string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequest(method, c.base+path, &buf)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e serve.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: %d %s (%s)", method, path, resp.StatusCode, e.Error, e.Sentinel)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// opStat collects one operation type's latencies.
+type opStat struct {
+	mu   sync.Mutex
+	durs []time.Duration
+}
+
+func (o *opStat) add(d time.Duration) {
+	o.mu.Lock()
+	o.durs = append(o.durs, d)
+	o.mu.Unlock()
+}
+
+// percentile returns the p-th percentile (nearest-rank) in
+// milliseconds; durs must be sorted.
+func percentile(durs []time.Duration, p float64) float64 {
+	if len(durs) == 0 {
+		return 0
+	}
+	idx := int(p/100*float64(len(durs))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(durs) {
+		idx = len(durs) - 1
+	}
+	return float64(durs[idx]) / float64(time.Millisecond)
+}
+
+// queryRec remembers one query's request, the versions the server
+// pinned, and its answer, for post-run shadow verification.
+type queryRec struct {
+	tenant int
+	req    serve.QueryRequest
+	resp   serve.QueryResponse
+}
+
+// runResult aggregates one traffic run.
+type runResult struct {
+	stats  map[string]*opStat
+	recs   []queryRec
+	recMu  sync.Mutex
+	failed int64
+	wall   time.Duration
+
+	verifiedSteps   int
+	verifiedQueries int
+}
+
+func (r *runResult) requests() int {
+	total := 0
+	for _, s := range r.stats {
+		total += len(s.durs)
+	}
+	return total
+}
+
+// timed runs fn under op's latency clock, counting failures.
+func (r *runResult) timed(op string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	r.stats[op].add(time.Since(start))
+	if err != nil {
+		atomic.AddInt64(&r.failed, 1)
+	}
+	return err
+}
+
+var opNames = []string{"put", "step", "distance", "pairs", "series", "anomalies", "nearest"}
+
+// drive creates the tenants, registers every state, then runs the
+// mixed workload: per tenant, W workers each own a share of the states
+// and ingest their delta trajectories tick by tick, interleaving
+// randomized queries at a rate that lands near preset.queries per
+// tenant. One writer per state keeps each state's version sequence
+// equal to its precomputed trajectory, which is what makes bit-exact
+// verification possible after the fact.
+func drive(c *client, plans []*tenantPlan, p preset, workers int, seed int64) (*runResult, error) {
+	run := &runResult{stats: make(map[string]*opStat)}
+	for _, op := range opNames {
+		run.stats[op] = &opStat{}
+	}
+
+	for _, tp := range plans {
+		var info serve.TenantInfo
+		if err := c.do("POST", "/v1/tenants", serve.CreateTenantRequest{Name: tp.name, Graph: tp.spec}, &info); err != nil {
+			return nil, err
+		}
+		tp.users, tp.edges = info.Users, info.Edges
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, len(plans)*workers)
+	for ti, tp := range plans {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ti int, tp *tenantPlan, w int) {
+				defer wg.Done()
+				if err := driveWorker(c, run, p, ti, tp, w, workers, seed); err != nil {
+					errc <- fmt.Errorf("tenant %s worker %d: %w", tp.name, w, err)
+				}
+			}(ti, tp, w)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	run.wall = time.Since(start)
+	for err := range errc {
+		return run, err
+	}
+	return run, nil
+}
+
+// driveWorker runs one client goroutine: PUT its share of the states,
+// then ingest their deltas in trajectory order, firing a query after a
+// step with the probability that spreads preset.queries over the
+// tenant's step budget.
+func driveWorker(c *client, run *runResult, p preset, ti int, tp *tenantPlan, w, workers int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed + int64(10000*ti+100*w)))
+	var own []*statePlan
+	for j, sp := range tp.states {
+		if j%workers == w {
+			own = append(own, sp)
+		}
+	}
+	for _, sp := range own {
+		ops := make([]int8, len(sp.traj[0]))
+		for u, o := range sp.traj[0] {
+			ops[u] = int8(o)
+		}
+		err := run.timed("put", func() error {
+			return c.do("PUT", "/v1/tenants/"+tp.name+"/states/"+sp.name, serve.PutStateRequest{Opinions: ops}, nil)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	qProb := float64(p.queries) / float64(p.states*p.ticks)
+	for tick := 0; tick < p.ticks; tick++ {
+		for _, sp := range own {
+			var resp serve.StepResponse
+			err := run.timed("step", func() error {
+				return c.do("POST", fmt.Sprintf("/v1/tenants/%s/states/%s:step", tp.name, sp.name),
+					serve.StepRequest{Deltas: []serve.Delta{sp.deltas[tick]}}, &resp)
+			})
+			if err != nil {
+				return err
+			}
+			if len(resp.Results) != 1 || resp.Results[0].SND == nil {
+				return fmt.Errorf("step %s/%s tick %d: malformed response", tp.name, sp.name, tick)
+			}
+			if got := resp.Results[0].Version; got != uint64(tick+2) {
+				return fmt.Errorf("step %s/%s tick %d: version %d, want %d", tp.name, sp.name, tick, got, tick+2)
+			}
+			sp.got[tick] = *resp.Results[0].SND
+			if rng.Float64() < qProb {
+				if err := runQuery(c, run, ti, tp, rng); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runQuery fires one randomized query from the op mix and records the
+// pinned versions plus the answer for verification.
+func runQuery(c *client, run *runResult, ti int, tp *tenantPlan, rng *rand.Rand) error {
+	pick := func() string { return tp.states[rng.Intn(len(tp.states))].name }
+	var req serve.QueryRequest
+	switch r := rng.Float64(); {
+	case r < 0.40:
+		req = serve.QueryRequest{Op: "distance", States: []string{pick(), pick()}}
+	case r < 0.55:
+		req = serve.QueryRequest{Op: "pairs", Pairs: [][2]string{{pick(), pick()}, {pick(), pick()}}}
+	case r < 0.75:
+		req = serve.QueryRequest{Op: "series", States: []string{pick(), pick(), pick()}}
+	case r < 0.85:
+		req = serve.QueryRequest{Op: "anomalies", States: []string{pick(), pick(), pick(), pick()}}
+	default:
+		n := len(tp.states[0].traj[0])
+		query := make([]int8, n)
+		for u := range query {
+			if rng.Float64() < 0.3 {
+				query[u] = int8(1 - 2*rng.Intn(2))
+			}
+		}
+		req = serve.QueryRequest{Op: "nearest", K: 2,
+			States: []string{pick(), pick(), pick(), pick(), pick()}, Query: query}
+	}
+	var resp serve.QueryResponse
+	err := run.timed(req.Op, func() error {
+		return c.do("POST", "/v1/tenants/"+tp.name+"/query", req, &resp)
+	})
+	if err != nil {
+		return err
+	}
+	run.recMu.Lock()
+	run.recs = append(run.recs, queryRec{tenant: ti, req: req, resp: resp})
+	run.recMu.Unlock()
+	return nil
+}
+
+// sortedDurs snapshots and sorts one op's latencies.
+func (r *runResult) sortedDurs(op string) []time.Duration {
+	s := r.stats[op]
+	s.mu.Lock()
+	durs := append([]time.Duration(nil), s.durs...)
+	s.mu.Unlock()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	return durs
+}

@@ -1,0 +1,209 @@
+// Command sndload drives mixed traffic — streaming delta ingestion
+// plus the whole query surface — at an sndserve endpoint, then checks
+// a sample of the responses bit-identical against direct snd.Network
+// calls on the same seeds and writes throughput and latency
+// percentiles to a BENCH_serve.json snapshot.
+//
+// Usage:
+//
+//	sndload [-addr http://127.0.0.1:8080] [-preset small|medium]
+//	        [-workers 2] [-seed 1] [-out BENCH_serve.json]
+//
+// With -addr "" (the default) sndload self-hosts: it starts an
+// in-process server on a loopback port and drives it over real HTTP,
+// so a standalone run needs no separate sndserve. The medium preset
+// is the committed acceptance workload: 4 tenants x 100 tracked
+// states with zero tolerated failures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"snd"
+	"snd/internal/serve"
+)
+
+// preset sizes one load shape.
+type preset struct {
+	tenants int // tenant count
+	states  int // tracked states per tenant
+	n       int // users per tenant graph
+	outdeg  int // scale-free out-degree
+	ticks   int // deltas ingested per state
+	deltaK  int // opinion changes per delta
+	queries int // queries per tenant (approximate, probabilistic)
+
+	verifySteps   int // step responses replayed on the shadow
+	verifyQueries int // query responses replayed on the shadow
+}
+
+var presets = map[string]preset{
+	// small is the CI smoke: seconds end to end, also under -race.
+	"small": {
+		tenants: 2, states: 12, n: 600, outdeg: 5,
+		ticks: 3, deltaK: 4, queries: 18,
+		verifySteps: 6, verifyQueries: 6,
+	},
+	// medium is the acceptance workload behind BENCH_serve.json:
+	// 4 tenants x 100 tracked states of mixed ingest + query traffic.
+	"medium": {
+		tenants: 4, states: 100, n: 2000, outdeg: 5,
+		ticks: 3, deltaK: 6, queries: 40,
+		verifySteps: 16, verifyQueries: 12,
+	},
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("sndload: ")
+	addr := flag.String("addr", "", "server base URL; empty self-hosts an in-process server")
+	presetName := flag.String("preset", "small", "load shape: small | medium")
+	workers := flag.Int("workers", 2, "client goroutines per tenant")
+	seed := flag.Int64("seed", 1, "traffic seed (graphs, states, deltas, query mix)")
+	out := flag.String("out", "BENCH_serve.json", "report path")
+	flag.Parse()
+
+	p, ok := presets[*presetName]
+	if !ok {
+		log.Fatalf("unknown preset %q", *presetName)
+	}
+	base := *addr
+	if base == "" {
+		srv := serve.NewServer(serve.NewRegistry(serve.Config{}), 0)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("selfhost listen: %v", err)
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			_ = hs.Close()
+			srv.Registry().CloseAll()
+		}()
+		base = "http://" + ln.Addr().String()
+		log.Printf("self-hosting on %s", base)
+	}
+	c := &client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
+
+	// Precompute every tenant's plan: graph spec, initial states, and
+	// per-state delta trajectories (plain local applies; the server's
+	// distances are verified against shadows after the run).
+	rng := rand.New(rand.NewSource(*seed))
+	plans := make([]*tenantPlan, p.tenants)
+	for i := range plans {
+		plans[i] = newTenantPlan(fmt.Sprintf("t%d", i), p, *seed+int64(1000*i), rng)
+	}
+
+	run, err := drive(c, plans, p, *workers, *seed)
+	if err != nil {
+		log.Fatalf("drive: %v", err)
+	}
+	log.Printf("traffic done: %d requests in %.2fs (%d failed)",
+		run.requests(), run.wall.Seconds(), run.failed)
+
+	mismatches := verify(plans, p, run, *seed)
+	report(c, plans, p, run, mismatches, *workers, *seed, *out)
+
+	for _, tp := range plans {
+		if err := c.do("DELETE", "/v1/tenants/"+tp.name, nil, nil); err != nil {
+			log.Fatalf("delete %s: %v", tp.name, err)
+		}
+	}
+	if run.failed > 0 || mismatches > 0 {
+		log.Fatalf("FAIL: %d failed requests, %d verification mismatches", run.failed, mismatches)
+	}
+	log.Printf("PASS: zero failed requests, %d step + %d query responses verified bit-identical",
+		run.verifiedSteps, run.verifiedQueries)
+}
+
+// statePlan is one tracked state's precomputed life: the initial
+// vector, the delta per tick, the resulting trajectory, and the SND
+// the server reported for each tick (filled during the run).
+type statePlan struct {
+	name   string
+	deltas []serve.Delta
+	traj   []snd.State // traj[v-1] is the snapshot at version v
+	got    []float64   // server-reported SND per tick
+}
+
+// tenantPlan is one tenant's precomputed workload.
+type tenantPlan struct {
+	name   string
+	spec   serve.GraphSpec
+	users  int
+	edges  int
+	states []*statePlan
+}
+
+func newTenantPlan(name string, p preset, graphSeed int64, rng *rand.Rand) *tenantPlan {
+	tp := &tenantPlan{
+		name: name,
+		spec: serve.GraphSpec{ScaleFree: &serve.ScaleFreeSpec{
+			N: p.n, OutDeg: p.outdeg, Exponent: -2.3, Reciprocity: 0.2, Seed: graphSeed,
+		}},
+	}
+	for j := 0; j < p.states; j++ {
+		sp := &statePlan{name: fmt.Sprintf("s%d", j), got: make([]float64, p.ticks)}
+		cur := make(snd.State, p.n)
+		for u := range cur {
+			if rng.Float64() < 0.3 {
+				cur[u] = snd.Opinion(1 - 2*rng.Intn(2))
+			}
+		}
+		sp.traj = []snd.State{cur}
+		for k := 0; k < p.ticks; k++ {
+			d := randomDelta(cur, p.deltaK, rng)
+			next := cur.Clone()
+			for _, ch := range d {
+				next[ch.User] = snd.Opinion(ch.Opinion)
+			}
+			sp.deltas = append(sp.deltas, d)
+			sp.traj = append(sp.traj, next)
+			cur = next
+		}
+		tp.states = append(tp.states, sp)
+	}
+	return tp
+}
+
+// randomDelta draws k distinct-user changes that each flip cur.
+func randomDelta(cur snd.State, k int, rng *rand.Rand) serve.Delta {
+	used := map[int]bool{}
+	var d serve.Delta
+	for len(d) < k {
+		u := rng.Intn(len(cur))
+		if used[u] {
+			continue
+		}
+		used[u] = true
+		op := int8(rng.Intn(3) - 1)
+		for snd.Opinion(op) == cur[u] {
+			op = int8(rng.Intn(3) - 1)
+		}
+		d = append(d, serve.Change{User: u, Opinion: op})
+	}
+	return d
+}
+
+// shadowNetwork rebuilds a tenant's graph from its spec as a direct
+// library handle, the referee for bit-identical verification.
+func shadowNetwork(tp *tenantPlan) *snd.Network {
+	sf := tp.spec.ScaleFree
+	g := snd.ScaleFreeGraph(snd.ScaleFreeConfig{
+		N: sf.N, OutDeg: sf.OutDeg, Exponent: sf.Exponent,
+		Reciprocity: sf.Reciprocity, Seed: sf.Seed,
+	})
+	return snd.NewNetwork(g, snd.DefaultOptions(), snd.EngineConfig{})
+}
+
+func fail(format string, args ...any) {
+	log.Printf("FAIL: "+format, args...)
+	os.Exit(1)
+}

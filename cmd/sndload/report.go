@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"snd/internal/serve"
+)
+
+// opRow is one operation type's latency/throughput summary.
+type opRow struct {
+	Op    string  `json:"op"`
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	RPS   float64 `json:"rps"`
+}
+
+// engineTotals aggregates the tenants' engine counters at run end,
+// scraped over the stats route — the serving-layer view of how much
+// screening and warm-start reuse the workload saw.
+type engineTotals struct {
+	Terms             int64 `json:"terms"`
+	TermsBoundDecided int64 `json:"terms_bound_decided"`
+	TermsWarmExact    int64 `json:"terms_warm_exact"`
+	TermsWarmSolved   int64 `json:"terms_warm_solved"`
+	FlowSolves        int64 `json:"flow_solves"`
+	Pairs             int64 `json:"pairs"`
+	PairsDecided      int64 `json:"pairs_decided"`
+}
+
+// benchReport is the committed BENCH_serve.json shape, leading with
+// the host baseline like the other BENCH_*.json snapshots.
+type benchReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUModel  string `json:"cpu_model"`
+	CPUs      int    `json:"cpus"`
+
+	Preset          string `json:"preset"`
+	Tenants         int    `json:"tenants"`
+	StatesPerTenant int    `json:"states_per_tenant"`
+	Users           int    `json:"users"`
+	Edges           int    `json:"edges"`
+	Workers         int    `json:"workers_per_tenant"`
+	Seed            int64  `json:"seed"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	Requests    int     `json:"requests"`
+	Failed      int64   `json:"failed"`
+	TotalRPS    float64 `json:"total_rps"`
+
+	VerifiedSteps   int `json:"verified_steps"`
+	VerifiedQueries int `json:"verified_queries"`
+	Mismatches      int `json:"mismatches"`
+
+	Ops    []opRow      `json:"ops"`
+	Engine engineTotals `json:"engine"`
+}
+
+// report writes the BENCH_serve.json snapshot and prints the table.
+func report(c *client, plans []*tenantPlan, p preset, run *runResult, mismatches, workers int, seed int64, out string) {
+	rep := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUModel:  hostCPUModel(),
+		CPUs:      runtime.NumCPU(),
+
+		Preset:          presetName(p),
+		Tenants:         len(plans),
+		StatesPerTenant: p.states,
+		Users:           plans[0].users,
+		Edges:           plans[0].edges,
+		Workers:         workers,
+		Seed:            seed,
+
+		WallSeconds: run.wall.Seconds(),
+		Requests:    run.requests(),
+		Failed:      run.failed,
+
+		VerifiedSteps:   run.verifiedSteps,
+		VerifiedQueries: run.verifiedQueries,
+		Mismatches:      mismatches,
+	}
+	if rep.WallSeconds > 0 {
+		rep.TotalRPS = float64(rep.Requests) / rep.WallSeconds
+	}
+	for _, op := range opNames {
+		durs := run.sortedDurs(op)
+		if len(durs) == 0 {
+			continue
+		}
+		row := opRow{
+			Op:    op,
+			Count: len(durs),
+			P50Ms: percentile(durs, 50),
+			P90Ms: percentile(durs, 90),
+			P99Ms: percentile(durs, 99),
+			MaxMs: float64(durs[len(durs)-1]) / float64(time.Millisecond),
+		}
+		if rep.WallSeconds > 0 {
+			row.RPS = float64(row.Count) / rep.WallSeconds
+		}
+		rep.Ops = append(rep.Ops, row)
+		log.Printf("%-10s %6d reqs  p50 %8.2fms  p90 %8.2fms  p99 %8.2fms  max %8.2fms",
+			op, row.Count, row.P50Ms, row.P90Ms, row.P99Ms, row.MaxMs)
+	}
+	for _, tp := range plans {
+		var st serve.StatsResponse
+		if err := c.do("GET", "/v1/tenants/"+tp.name+"/stats", nil, &st); err != nil {
+			fail("stats %s: %v", tp.name, err)
+		}
+		rep.Engine.Terms += st.Terms
+		rep.Engine.TermsBoundDecided += st.TermsBoundDecided
+		rep.Engine.TermsWarmExact += st.TermsWarmExact
+		rep.Engine.TermsWarmSolved += st.TermsWarmSolved
+		rep.Engine.FlowSolves += st.FlowSolves
+		rep.Engine.Pairs += st.Pairs
+		rep.Engine.PairsDecided += st.PairsDecided
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail("encoding report: %v", err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fail("writing %s: %v", out, err)
+	}
+	log.Printf("wrote %s", out)
+}
+
+// presetName recovers the preset's map key for the report.
+func presetName(p preset) string {
+	for name, q := range presets {
+		if q == p {
+			return name
+		}
+	}
+	return "custom"
+}
+
+// hostCPUModel returns the host CPU's model string so the committed
+// snapshot records the hardware its numbers were measured on. Reads
+// /proc/cpuinfo (Linux); "unknown" elsewhere.
+func hostCPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown"
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok {
+			switch strings.TrimSpace(name) {
+			case "model name", "Processor", "cpu model":
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"log"
+	"math/rand"
+
+	"snd"
+)
+
+// verify replays a random sample of the run's responses on direct
+// snd.Network shadows built from the same graph seeds and demands
+// bit-identical answers: the serve layer must add routing, batching,
+// and admission — never numerics. Returns the mismatch count.
+func verify(plans []*tenantPlan, p preset, run *runResult, seed int64) int {
+	rng := rand.New(rand.NewSource(seed + 999))
+	ctx := context.Background()
+	shadows := make([]*snd.Network, len(plans))
+	for i, tp := range plans {
+		shadows[i] = shadowNetwork(tp)
+		defer shadows[i].Close()
+	}
+
+	mismatches := 0
+	for k := 0; k < p.verifySteps; k++ {
+		ti := rng.Intn(len(plans))
+		tp := plans[ti]
+		sp := tp.states[rng.Intn(len(tp.states))]
+		tick := rng.Intn(p.ticks)
+		want, err := shadows[ti].Distance(ctx, sp.traj[tick], sp.traj[tick+1])
+		if err != nil {
+			fail("verify step %s/%s tick %d: %v", tp.name, sp.name, tick, err)
+		}
+		if sp.got[tick] != want.SND {
+			log.Printf("MISMATCH step %s/%s tick %d: served %v, direct %v",
+				tp.name, sp.name, tick, sp.got[tick], want.SND)
+			mismatches++
+		}
+		run.verifiedSteps++
+	}
+
+	if len(run.recs) > 0 {
+		for k := 0; k < p.verifyQueries; k++ {
+			rec := run.recs[rng.Intn(len(run.recs))]
+			if !replay(ctx, shadows[rec.tenant], plans[rec.tenant], rec) {
+				mismatches++
+			}
+			run.verifiedQueries++
+		}
+	}
+	return mismatches
+}
+
+// replay recomputes one recorded query on the shadow, resolving each
+// named state to the trajectory snapshot at the version the server
+// reported pinning. Reports whether the answers match exactly.
+func replay(ctx context.Context, nw *snd.Network, tp *tenantPlan, rec queryRec) bool {
+	byName := make(map[string]*statePlan, len(tp.states))
+	for _, sp := range tp.states {
+		byName[sp.name] = sp
+	}
+	snap := func(name string) snd.State {
+		v := rec.resp.Versions[name]
+		sp := byName[name]
+		if sp == nil || v < 1 || int(v) > len(sp.traj) {
+			fail("replay %s: bad pinned version %d for state %q", tp.name, v, name)
+		}
+		return sp.traj[v-1]
+	}
+	bad := func(format string, args ...any) bool {
+		log.Printf("MISMATCH query %s op %s: "+format, append([]any{tp.name, rec.req.Op}, args...)...)
+		return false
+	}
+	switch rec.req.Op {
+	case "distance":
+		want, err := nw.Distance(ctx, snap(rec.req.States[0]), snap(rec.req.States[1]))
+		if err != nil {
+			fail("replay distance: %v", err)
+		}
+		got := rec.resp.Results[0]
+		if got.SND != want.SND || got.Terms != want.Terms || got.NDelta != want.NDelta {
+			return bad("served %+v, direct %v/%v/%d", got, want.SND, want.Terms, want.NDelta)
+		}
+	case "pairs":
+		pairs := make([]snd.StatePair, len(rec.req.Pairs))
+		for i, pr := range rec.req.Pairs {
+			pairs[i] = snd.StatePair{A: snap(pr[0]), B: snap(pr[1])}
+		}
+		want, err := nw.Pairs(ctx, pairs)
+		if err != nil {
+			fail("replay pairs: %v", err)
+		}
+		for i := range want {
+			if rec.resp.Results[i].SND != want[i].SND {
+				return bad("pair %d: served %v, direct %v", i, rec.resp.Results[i].SND, want[i].SND)
+			}
+		}
+	case "series", "anomalies":
+		states := make([]snd.State, len(rec.req.States))
+		for i, name := range rec.req.States {
+			states[i] = snap(name)
+		}
+		if rec.req.Op == "series" {
+			want, err := nw.Series(ctx, states)
+			if err != nil {
+				fail("replay series: %v", err)
+			}
+			if !equalF64s(rec.resp.Distances, want) {
+				return bad("served %v, direct %v", rec.resp.Distances, want)
+			}
+		} else {
+			want, err := nw.DetectAnomalies(ctx, states)
+			if err != nil {
+				fail("replay anomalies: %v", err)
+			}
+			if !equalF64s(rec.resp.Distances, want.Distances) || !equalF64s(rec.resp.Scores, want.Scores) {
+				return bad("served %v/%v, direct %v/%v",
+					rec.resp.Distances, rec.resp.Scores, want.Distances, want.Scores)
+			}
+		}
+	case "nearest":
+		states := make([]snd.State, len(rec.req.States))
+		for i, name := range rec.req.States {
+			states[i] = snap(name)
+		}
+		query := make(snd.State, len(rec.req.Query))
+		for i, o := range rec.req.Query {
+			query[i] = snd.Opinion(o)
+		}
+		want, err := nw.Index(states).NearestNeighbors(ctx, query, rec.req.K)
+		if err != nil {
+			fail("replay nearest: %v", err)
+		}
+		if len(rec.resp.Neighbors) != len(want) {
+			return bad("served %d neighbors, direct %d", len(rec.resp.Neighbors), len(want))
+		}
+		for i, nb := range want {
+			got := rec.resp.Neighbors[i]
+			if got.State != rec.req.States[nb.Index] || got.Distance != nb.Dist {
+				return bad("neighbor %d: served %+v, direct {%s %v}", i, got, rec.req.States[nb.Index], nb.Dist)
+			}
+		}
+	default:
+		fail("replay: unknown op %q", rec.req.Op)
+	}
+	return true
+}
+
+func equalF64s(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+// Command sndserve runs the multi-tenant SND monitoring service: an
+// HTTP+JSON front door over many snd.Network handles (one graph +
+// engine + named tracked states per tenant), with streaming delta
+// ingestion, snapshot-isolated batch queries, bounded-in-flight
+// admission control, per-request deadlines, and Prometheus metrics at
+// /metrics. See the route table in snd/internal/serve.
+//
+// Usage:
+//
+//	sndserve [-addr :8080] [-deadline 30s]
+//	         [-tenant-inflight 32] [-global-inflight 256] [-max-tenants 64]
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops,
+// in-flight requests drain, and every tenant's engine is closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"snd/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("sndserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	deadline := flag.Duration("deadline", 30*time.Second,
+		"default per-request compute deadline (0 = none; X-Snd-Deadline-Ms overrides)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight request limit (0 = default 32)")
+	globalInflight := flag.Int("global-inflight", 0, "global in-flight request limit (0 = default 256)")
+	maxTenants := flag.Int("max-tenants", 0, "tenant registry capacity (0 = default 64)")
+	flag.Parse()
+
+	reg := serve.NewRegistry(serve.Config{
+		TenantInFlight: *tenantInflight,
+		GlobalInFlight: *globalInflight,
+		MaxTenants:     *maxTenants,
+	})
+	hs := &http.Server{Addr: *addr, Handler: serve.NewServer(reg, *deadline)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("listening on %s (default deadline %s)", *addr, *deadline)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received; draining")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("listen: %v", err)
+	}
+	reg.CloseAll()
+	log.Printf("shutdown complete")
+}

@@ -243,4 +243,18 @@
 // BENCH_scaling.json snapshots. docs/ARCHITECTURE.md maps the layers
 // and their locking rules; docs/PERFORMANCE.md is the tuning handbook
 // (every knob, every snapshot, how to read Engine.Stats).
+//
+// # Serving
+//
+// cmd/sndserve hosts the library as a long-running multi-tenant
+// monitoring service (HTTP+JSON, package snd/internal/serve): a
+// tenant registry of Network handles, streaming delta ingestion over
+// StepFrom, snapshot-isolated queries that pin the state versions
+// they opened with, bounded-in-flight admission control with
+// per-request deadlines, and per-tenant Engine.Stats in Prometheus
+// text at /metrics. cmd/sndload drives mixed traffic at a server,
+// verifies sampled responses bit-identical against direct library
+// calls, and writes the committed BENCH_serve.json latency snapshot.
+// The README's "Running the server" section is the quickstart;
+// docs/ARCHITECTURE.md ("The serving layer") has the design.
 package snd

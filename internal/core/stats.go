@@ -60,6 +60,33 @@ type EngineStats struct {
 	GroundRefs, GroundBytes int64
 }
 
+// Sub returns the change between two snapshots: every cumulative
+// counter of s minus its value in prev, isolating the work done
+// between the two Stats() calls — the windowed view a metrics scrape
+// or a per-batch report needs. The gauges (GroundRefs, GroundBytes)
+// are not cumulative and carry s's value through unchanged: a window
+// has no meaningful "delta retention", only a current one. Sub is a
+// pure value operation: s.Sub(EngineStats{}) == s, and because the
+// counters grow monotonically, prev taken before s on the same engine
+// yields a result whose counters are all non-negative.
+func (s EngineStats) Sub(prev EngineStats) EngineStats {
+	return EngineStats{
+		SSSPTime:          s.SSSPTime - prev.SSSPTime,
+		FlowTime:          s.FlowTime - prev.FlowTime,
+		BoundTime:         s.BoundTime - prev.BoundTime,
+		Terms:             s.Terms - prev.Terms,
+		TermsBoundDecided: s.TermsBoundDecided - prev.TermsBoundDecided,
+		TermsWarmExact:    s.TermsWarmExact - prev.TermsWarmExact,
+		TermsWarmSolved:   s.TermsWarmSolved - prev.TermsWarmSolved,
+		FlowSolves:        s.FlowSolves - prev.FlowSolves,
+		Pairs:             s.Pairs - prev.Pairs,
+		PairsDecided:      s.PairsDecided - prev.PairsDecided,
+		PairBounds:        s.PairBounds - prev.PairBounds,
+		GroundRefs:        s.GroundRefs,
+		GroundBytes:       s.GroundBytes,
+	}
+}
+
 // Stats returns a snapshot of the engine's cumulative phase timings and
 // warm-start/bound screening counters. Counters only grow; subtract two
 // snapshots to isolate a batch. Safe for concurrent use.

@@ -1,0 +1,246 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"snd"
+)
+
+// TestServeConcurrentTraffic hammers the server from many clients at
+// once — steppers advancing every state, queriers opening snapshot
+// queries mid-step, and a tenant create/step/delete churn loop — and
+// pins every numeric response bit-identical to direct snd.Network
+// calls on the same seeds. Run under -race this also exercises the
+// registry's admission and drain paths.
+func TestServeConcurrentTraffic(t *testing.T) {
+	const (
+		n      = 250
+		nTen   = 3
+		nState = 4
+		ticks  = 4
+	)
+	c, _ := newTestServer(t, Config{}, 0)
+	ctx := context.Background()
+
+	// stateTraj precomputes one state's delta trajectory and the SND of
+	// every tick on a shadow Network, before any traffic starts.
+	type stateTraj struct {
+		name   string
+		deltas []Delta
+		traj   []snd.State // traj[v-1] is the snapshot at version v
+		snds   []float64   // snds[k] = SND(traj[k], traj[k+1])
+	}
+	type tenantPlan struct {
+		name   string
+		seed   int64
+		states map[string]*stateTraj
+		order  []string
+		shadow *snd.Network
+	}
+
+	plans := make([]*tenantPlan, nTen)
+	for i := range plans {
+		seed := int64(100 + i)
+		tp := &tenantPlan{
+			name:   fmt.Sprintf("t%d", i),
+			seed:   seed,
+			states: make(map[string]*stateTraj),
+			shadow: shadowNetwork(t, n, seed),
+		}
+		rng := rand.New(rand.NewSource(seed * 7))
+		for j := 0; j < nState; j++ {
+			st := &stateTraj{name: fmt.Sprintf("s%d", j)}
+			cur := toState(randomOpinions(n, 0.3, rng))
+			st.traj = []snd.State{cur}
+			for k := 0; k < ticks; k++ {
+				d := randomDelta(cur, 3, rng)
+				next := applyWire(cur, d)
+				res, err := tp.shadow.Distance(ctx, cur, next)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st.deltas = append(st.deltas, d)
+				st.snds = append(st.snds, res.SND)
+				st.traj = append(st.traj, next)
+				cur = next
+			}
+			tp.states[st.name] = st
+			tp.order = append(tp.order, st.name)
+		}
+		plans[i] = tp
+	}
+
+	// Register the tenants and version-1 states over HTTP.
+	for _, tp := range plans {
+		c.must("POST", "/v1/tenants", CreateTenantRequest{Name: tp.name, Graph: testGraphSpec(n, tp.seed)}, nil)
+		for _, name := range tp.order {
+			st := tp.states[name]
+			ops := make([]int8, n)
+			for u, o := range st.traj[0] {
+				ops[u] = int8(o)
+			}
+			c.must("PUT", "/v1/tenants/"+tp.name+"/states/"+name, PutStateRequest{Opinions: ops}, nil)
+		}
+	}
+
+	// queryRec remembers what one query pinned and answered; verified
+	// against the shadow trajectories after the storm.
+	type queryRec struct {
+		tenant int
+		a, b   string
+		va, vb uint64
+		snd    float64
+	}
+	var (
+		recMu sync.Mutex
+		recs  []queryRec
+	)
+	errs := make(chan error, 1024)
+	var wg sync.WaitGroup
+
+	// One stepper per (tenant, state): batch-ingests the whole delta
+	// trajectory and checks the per-tick SNDs bit-identical.
+	for _, tp := range plans {
+		for _, name := range tp.order {
+			wg.Add(1)
+			go func(tp *tenantPlan, st *stateTraj) {
+				defer wg.Done()
+				var resp StepResponse
+				path := fmt.Sprintf("/v1/tenants/%s/states/%s:step", tp.name, st.name)
+				code, e, err := c.doErr("POST", path, nil, StepRequest{Deltas: st.deltas}, &resp)
+				if err != nil || code != http.StatusOK {
+					errs <- fmt.Errorf("step %s/%s: code %d, %+v, %v", tp.name, st.name, code, e, err)
+					return
+				}
+				if len(resp.Results) != ticks {
+					errs <- fmt.Errorf("step %s/%s: %d results", tp.name, st.name, len(resp.Results))
+					return
+				}
+				for k, r := range resp.Results {
+					if r.Version != uint64(k+2) {
+						errs <- fmt.Errorf("step %s/%s tick %d: version %d", tp.name, st.name, k, r.Version)
+					}
+					if r.SND == nil || *r.SND != st.snds[k] {
+						errs <- fmt.Errorf("step %s/%s tick %d: SND %v, want %v", tp.name, st.name, k, r.SND, st.snds[k])
+					}
+				}
+			}(tp, tp.states[name])
+		}
+	}
+
+	// Two queriers per tenant race the steppers with distance queries
+	// over random state pairs; the pinned versions say which snapshots
+	// each answer must match.
+	for ti, tp := range plans {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(ti int, tp *tenantPlan, w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(1000*ti + w)))
+				for q := 0; q < 4; q++ {
+					a := tp.order[rng.Intn(len(tp.order))]
+					b := tp.order[rng.Intn(len(tp.order))]
+					var resp QueryResponse
+					code, e, err := c.doErr("POST", "/v1/tenants/"+tp.name+"/query", nil,
+						QueryRequest{Op: "distance", States: []string{a, b}}, &resp)
+					if err != nil || code != http.StatusOK {
+						errs <- fmt.Errorf("query %s %s-%s: code %d, %+v, %v", tp.name, a, b, code, e, err)
+						return
+					}
+					recMu.Lock()
+					recs = append(recs, queryRec{ti, a, b, resp.Versions[a], resp.Versions[b], resp.Results[0].SND})
+					recMu.Unlock()
+				}
+			}(ti, tp, w)
+		}
+	}
+
+	// Churn: create/put/step/delete short-lived tenants while a reader
+	// races the deletes. The reader may see the tenant missing (404) or
+	// present (200) but never a 5xx — Delete drains admitted requests
+	// before closing the handle.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(555))
+		for k := 0; k < 3; k++ {
+			spec := GraphSpec{ScaleFree: &ScaleFreeSpec{N: 60, OutDeg: 4, Exponent: -2.3, Reciprocity: 0.2, Seed: int64(900 + k)}}
+			if code, e, err := c.doErr("POST", "/v1/tenants", nil, CreateTenantRequest{Name: "churn", Graph: spec}, nil); err != nil || code != http.StatusCreated {
+				errs <- fmt.Errorf("churn create %d: code %d, %+v, %v", k, code, e, err)
+				return
+			}
+			ops := randomOpinions(60, 0.4, rng)
+			if code, e, err := c.doErr("PUT", "/v1/tenants/churn/states/s", nil, PutStateRequest{Opinions: ops}, nil); err != nil || code != http.StatusOK {
+				errs <- fmt.Errorf("churn put %d: code %d, %+v, %v", k, code, e, err)
+				return
+			}
+			d := randomDelta(toState(ops), 2, rng)
+			if code, e, err := c.doErr("POST", "/v1/tenants/churn/states/s:step", nil, StepRequest{Deltas: []Delta{d}}, nil); err != nil || code != http.StatusOK {
+				errs <- fmt.Errorf("churn step %d: code %d, %+v, %v", k, code, e, err)
+				return
+			}
+			if code, e, err := c.doErr("DELETE", "/v1/tenants/churn", nil, nil, nil); err != nil || code != http.StatusOK {
+				errs <- fmt.Errorf("churn delete %d: code %d, %+v, %v", k, code, e, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 20; k++ {
+			code, e, err := c.doErr("POST", "/v1/tenants/churn/query", nil,
+				QueryRequest{Op: "distance", States: []string{"s", "s"}}, nil)
+			if err != nil {
+				errs <- fmt.Errorf("churn reader %d: %v", k, err)
+				return
+			}
+			switch code {
+			case http.StatusOK, http.StatusNotFound:
+			default:
+				errs <- fmt.Errorf("churn reader %d: unexpected code %d (%+v)", k, code, e)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Post-storm: every state landed on its final version, and every
+	// recorded query answer matches a direct Distance on the very
+	// snapshots its response said it pinned.
+	for _, tp := range plans {
+		var sl StateList
+		c.must("GET", "/v1/tenants/"+tp.name+"/states", nil, &sl)
+		for _, si := range sl.States {
+			if si.Version != ticks+1 {
+				t.Errorf("%s/%s: final version %d, want %d", tp.name, si.Name, si.Version, ticks+1)
+			}
+		}
+	}
+	for _, rec := range recs {
+		tp := plans[rec.tenant]
+		if rec.va < 1 || rec.va > ticks+1 || rec.vb < 1 || rec.vb > ticks+1 {
+			t.Errorf("query %s %s-%s: pinned versions %d,%d out of range", tp.name, rec.a, rec.b, rec.va, rec.vb)
+			continue
+		}
+		want, err := tp.shadow.Distance(ctx, tp.states[rec.a].traj[rec.va-1], tp.states[rec.b].traj[rec.vb-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.snd != want.SND {
+			t.Errorf("query %s %s@%d-%s@%d: SND %v, want %v", tp.name, rec.a, rec.va, rec.b, rec.vb, rec.snd, want.SND)
+		}
+	}
+	if len(recs) != nTen*2*4 {
+		t.Errorf("recorded %d query answers, want %d", len(recs), nTen*2*4)
+	}
+}

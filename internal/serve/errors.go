@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"snd"
+)
+
+// Typed service-level failures; like the snd sentinels they are
+// branched on with errors.Is and mapped onto HTTP statuses.
+var (
+	// ErrNotFound reports an unknown tenant or state name.
+	ErrNotFound = errors.New("not found")
+	// ErrExists reports a create for a tenant name already registered.
+	ErrExists = errors.New("already exists")
+	// ErrAdmission reports a request shed by an in-flight limit
+	// (per-tenant or global).
+	ErrAdmission = errors.New("admission limit reached")
+	// ErrBadRequest reports a malformed request the library sentinels
+	// do not cover (unknown op, missing graph spec, bad JSON).
+	ErrBadRequest = errors.New("bad request")
+)
+
+// statusFor maps an error onto the HTTP status the structured-error
+// contract promises: input-shape sentinels are the client's fault
+// (400), unknown names are 404, admission shedding is 429, a deadline
+// that expired in a solver is 504, a tenant deleted while the request
+// ran is 410, and anything unrecognized is a 500.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is the de-facto convention
+		// (nginx) for logging such requests.
+		return 499
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound // 404
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict // 409
+	case errors.Is(err, ErrAdmission):
+		return http.StatusTooManyRequests // 429
+	case errors.Is(err, snd.ErrEngineClosed):
+		return http.StatusGone // 410: tenant deleted mid-flight
+	case errors.Is(err, snd.ErrStateSize),
+		errors.Is(err, snd.ErrInvalidOpinion),
+		errors.Is(err, snd.ErrDeltaIndex),
+		errors.Is(err, snd.ErrClusterLabels),
+		errors.Is(err, snd.ErrShortSeries),
+		errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest // 400
+	default:
+		return http.StatusInternalServerError // 500
+	}
+}
+
+// sentinelName names the innermost recognized sentinel for the error
+// body, so clients can branch without parsing messages.
+func sentinelName(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "DeadlineExceeded"
+	case errors.Is(err, context.Canceled):
+		return "Canceled"
+	case errors.Is(err, ErrNotFound):
+		return "NotFound"
+	case errors.Is(err, ErrExists):
+		return "Exists"
+	case errors.Is(err, ErrAdmission):
+		return "Admission"
+	case errors.Is(err, snd.ErrEngineClosed):
+		return "ErrEngineClosed"
+	// ErrDeltaIndex wraps ErrStateSize or ErrInvalidOpinion too, so
+	// it must be recognized before them to name the most specific
+	// sentinel.
+	case errors.Is(err, snd.ErrDeltaIndex):
+		return "ErrDeltaIndex"
+	case errors.Is(err, snd.ErrStateSize):
+		return "ErrStateSize"
+	case errors.Is(err, snd.ErrInvalidOpinion):
+		return "ErrInvalidOpinion"
+	case errors.Is(err, snd.ErrClusterLabels):
+		return "ErrClusterLabels"
+	case errors.Is(err, snd.ErrShortSeries):
+		return "ErrShortSeries"
+	case errors.Is(err, ErrBadRequest):
+		return "BadRequest"
+	default:
+		return ""
+	}
+}
+
+// writeError renders err as the standard JSON error body with its
+// mapped status.
+func writeError(w http.ResponseWriter, err error) int {
+	code := statusFor(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{
+		Error:    err.Error(),
+		Sentinel: sentinelName(err),
+	})
+	return code
+}
+
+// badRequestf wraps ErrBadRequest with a formatted message.
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrBadRequest)...)
+}

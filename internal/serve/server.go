@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"snd"
+)
+
+// Server is the HTTP front door: routing, per-request deadlines,
+// admission, and metrics around a Registry. It implements
+// http.Handler; hang it off any http.Server.
+type Server struct {
+	reg *Registry
+	// defaultDeadline bounds every compute request that does not carry
+	// its own X-Snd-Deadline-Ms header; zero means no server-imposed
+	// deadline.
+	defaultDeadline time.Duration
+}
+
+// NewServer builds a Server over reg. defaultDeadline caps compute
+// requests without an explicit per-request deadline (0 = none).
+func NewServer(reg *Registry, defaultDeadline time.Duration) *Server {
+	return &Server{reg: reg, defaultDeadline: defaultDeadline}
+}
+
+// Registry exposes the server's registry (shutdown paths call
+// CloseAll on it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// requestCtx derives the compute context: the client disconnect
+// already cancels r.Context(); the per-request or default deadline
+// layers on top. The X-Snd-Deadline-Ms header overrides the server
+// default (0 disables even that, for debugging).
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	deadline := s.defaultDeadline
+	if h := r.Header.Get("X-Snd-Deadline-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms >= 0 {
+			deadline = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if deadline <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), deadline)
+}
+
+// statusWriter captures the status code for the metrics observation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP routes the request and records (route, code, latency).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	route := s.route(sw, r)
+	s.reg.metrics.observe(route, sw.code, time.Since(start))
+}
+
+// route dispatches by path shape and returns the route label for
+// metrics. Paths under /v1/tenants decompose as
+// /v1/tenants[/{t}[/stats | /states[/{s}[:step]] | /query]].
+func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch path {
+	case "/healthz":
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+		return "healthz"
+	case "/metrics":
+		s.handleMetrics(w)
+		return "metrics"
+	case "/v1/tenants":
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, TenantList{Tenants: s.reg.List()})
+		case http.MethodPost:
+			s.handleCreateTenant(w, r)
+		default:
+			writeError(w, badRequestf("method %s not allowed on /v1/tenants", r.Method))
+		}
+		return "tenants"
+	}
+	rest, ok := strings.CutPrefix(path, "/v1/tenants/")
+	if !ok {
+		writeError(w, fmt.Errorf("no route %q: %w", path, ErrNotFound))
+		return "unknown"
+	}
+	parts := strings.Split(rest, "/")
+	tenantName := parts[0]
+	switch {
+	case len(parts) == 1:
+		return s.routeTenant(w, r, tenantName)
+	case len(parts) == 2 && parts[1] == "stats":
+		return s.routeStats(w, r, tenantName)
+	case len(parts) == 2 && parts[1] == "query":
+		return s.routeQuery(w, r, tenantName)
+	case len(parts) == 2 && parts[1] == "states":
+		return s.routeStateList(w, r, tenantName)
+	case len(parts) == 3 && parts[1] == "states":
+		if stateName, ok := strings.CutSuffix(parts[2], ":step"); ok {
+			return s.routeStep(w, r, tenantName, stateName)
+		}
+		return s.routeState(w, r, tenantName, parts[2])
+	}
+	writeError(w, fmt.Errorf("no route %q: %w", path, ErrNotFound))
+	return "unknown"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("decoding request body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.metrics.render(w)
+	renderTenants(w, s.reg.scrape())
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req CreateTenantRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	t, err := s.reg.Create(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, t.info())
+}
+
+func (s *Server) routeTenant(w http.ResponseWriter, r *http.Request, name string) string {
+	switch r.Method {
+	case http.MethodGet:
+		t, err := s.reg.Get(name)
+		if err != nil {
+			writeError(w, err)
+			return "tenant"
+		}
+		writeJSON(w, http.StatusOK, t.info())
+	case http.MethodDelete:
+		if err := s.reg.Delete(name); err != nil {
+			writeError(w, err)
+			return "tenant"
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	default:
+		writeError(w, badRequestf("method %s not allowed on tenant", r.Method))
+	}
+	return "tenant"
+}
+
+func (s *Server) routeStats(w http.ResponseWriter, r *http.Request, name string) string {
+	if r.Method != http.MethodGet {
+		writeError(w, badRequestf("method %s not allowed on stats", r.Method))
+		return "stats"
+	}
+	t, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, err)
+		return "stats"
+	}
+	window := r.URL.Query().Get("window") != ""
+	writeJSON(w, http.StatusOK, t.statsResponse(window))
+	return "stats"
+}
+
+func (s *Server) routeStateList(w http.ResponseWriter, r *http.Request, name string) string {
+	if r.Method != http.MethodGet {
+		writeError(w, badRequestf("method %s not allowed on states", r.Method))
+		return "states"
+	}
+	t, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, err)
+		return "states"
+	}
+	writeJSON(w, http.StatusOK, StateList{States: t.listStates()})
+	return "states"
+}
+
+func (s *Server) routeState(w http.ResponseWriter, r *http.Request, tenantName, stateName string) string {
+	const route = "state"
+	if err := validName(stateName); err != nil {
+		writeError(w, err)
+		return route
+	}
+	t, release, err := s.reg.Acquire(tenantName)
+	if err != nil {
+		writeError(w, err)
+		return route
+	}
+	defer release()
+	switch r.Method {
+	case http.MethodPut:
+		var req PutStateRequest
+		if err := decodeJSON(r, &req); err != nil {
+			writeError(w, err)
+			return route
+		}
+		v, err := t.putState(stateName, req.Opinions)
+		if err != nil {
+			writeError(w, err)
+			return route
+		}
+		writeJSON(w, http.StatusOK, StateInfo{Name: stateName, Version: v})
+	case http.MethodGet:
+		ts, err := t.state(stateName)
+		if err != nil {
+			writeError(w, err)
+			return route
+		}
+		st, v := ts.snapshot()
+		info := StateInfo{Name: stateName, Version: v, Active: st.ActiveCount()}
+		if r.URL.Query().Get("opinions") != "" {
+			info.Opinion = make([]int8, len(st))
+			for i, o := range st {
+				info.Opinion[i] = int8(o)
+			}
+		}
+		writeJSON(w, http.StatusOK, info)
+	case http.MethodDelete:
+		if err := t.dropState(stateName); err != nil {
+			writeError(w, err)
+			return route
+		}
+		writeJSON(w, http.StatusOK, struct{}{})
+	default:
+		writeError(w, badRequestf("method %s not allowed on state", r.Method))
+	}
+	return route
+}
+
+func (s *Server) routeStep(w http.ResponseWriter, r *http.Request, tenantName, stateName string) string {
+	const route = "step"
+	if r.Method != http.MethodPost {
+		writeError(w, badRequestf("method %s not allowed on :step", r.Method))
+		return route
+	}
+	var req StepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return route
+	}
+	t, release, err := s.reg.Acquire(tenantName)
+	if err != nil {
+		writeError(w, err)
+		return route
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := t.step(ctx, stateName, req)
+	if err != nil {
+		writeError(w, err)
+		return route
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return route
+}
+
+func (s *Server) routeQuery(w http.ResponseWriter, r *http.Request, tenantName string) string {
+	const route = "query"
+	if r.Method != http.MethodPost {
+		writeError(w, badRequestf("method %s not allowed on query", r.Method))
+		return route
+	}
+	var req QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return route
+	}
+	t, release, err := s.reg.Acquire(tenantName)
+	if err != nil {
+		writeError(w, err)
+		return route
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	resp, err := runQuery(ctx, t, req)
+	if err != nil {
+		writeError(w, err)
+		return route
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return route
+}
+
+// runQuery executes one snapshot-isolated query on the tenant's
+// engine. All state resolution happens up front (the pin); the
+// computation then runs purely on the pinned snapshots, so concurrent
+// steps cannot smear a half-advanced state into a batch.
+func runQuery(ctx context.Context, t *Tenant, req QueryRequest) (QueryResponse, error) {
+	resp := QueryResponse{Op: req.Op}
+	nw := t.net
+	switch req.Op {
+	case "distance":
+		if len(req.States) != 2 {
+			return resp, badRequestf("distance wants 2 states, got %d", len(req.States))
+		}
+		states, versions, err := t.pin(req.States)
+		if err != nil {
+			return resp, err
+		}
+		res, err := nw.Distance(ctx, states[0], states[1])
+		if err != nil {
+			return resp, err
+		}
+		resp.Versions = versions
+		resp.Results = []PairResult{{SND: res.SND, Terms: res.Terms, NDelta: res.NDelta}}
+	case "pairs":
+		if len(req.Pairs) == 0 {
+			return resp, badRequestf("pairs wants at least one pair")
+		}
+		names := make([]string, 0, 2*len(req.Pairs))
+		for _, p := range req.Pairs {
+			names = append(names, p[0], p[1])
+		}
+		states, versions, err := t.pin(names)
+		if err != nil {
+			return resp, err
+		}
+		pairs := make([]snd.StatePair, len(req.Pairs))
+		for i := range req.Pairs {
+			pairs[i] = snd.StatePair{A: states[2*i], B: states[2*i+1]}
+		}
+		results, err := nw.Pairs(ctx, pairs)
+		if err != nil {
+			return resp, err
+		}
+		resp.Versions = versions
+		resp.Results = make([]PairResult, len(results))
+		for i, res := range results {
+			resp.Results[i] = PairResult{SND: res.SND, Terms: res.Terms, NDelta: res.NDelta}
+		}
+	case "series", "anomalies":
+		states, versions, err := t.pin(req.States)
+		if err != nil {
+			return resp, err
+		}
+		resp.Versions = versions
+		if req.Op == "series" {
+			dists, err := nw.Series(ctx, states)
+			if err != nil {
+				return resp, err
+			}
+			resp.Distances = dists
+		} else {
+			rep, err := nw.DetectAnomalies(ctx, states)
+			if err != nil {
+				return resp, err
+			}
+			resp.Distances = rep.Distances
+			resp.Scores = rep.Scores
+		}
+	case "matrix":
+		states, versions, err := t.pin(req.States)
+		if err != nil {
+			return resp, err
+		}
+		m, err := nw.Matrix(ctx, states)
+		if err != nil {
+			return resp, err
+		}
+		resp.Versions = versions
+		resp.Matrix = m
+	case "nearest":
+		if len(req.Query) == 0 {
+			return resp, badRequestf("nearest wants an inline query state")
+		}
+		if len(req.States) == 0 {
+			return resp, badRequestf("nearest wants candidate states")
+		}
+		query := make(snd.State, len(req.Query))
+		for i, o := range req.Query {
+			query[i] = snd.Opinion(o)
+		}
+		// Validate the inline state through the library sentinels.
+		if _, err := nw.ApplyFrom(query, nil); err != nil {
+			return resp, err
+		}
+		states, versions, err := t.pin(req.States)
+		if err != nil {
+			return resp, err
+		}
+		k := req.K
+		if k <= 0 {
+			k = 1
+		}
+		// The index is per-request (it is not safe for concurrent
+		// use); its bulk work still runs on the tenant's engine.
+		neighbors, err := nw.Index(states).NearestNeighbors(ctx, query, k)
+		if err != nil {
+			return resp, err
+		}
+		resp.Versions = versions
+		resp.Neighbors = make([]NeighborResult, len(neighbors))
+		for i, nb := range neighbors {
+			resp.Neighbors[i] = NeighborResult{State: req.States[nb.Index], Distance: nb.Dist}
+		}
+	default:
+		return resp, badRequestf("unknown op %q", req.Op)
+	}
+	return resp, nil
+}

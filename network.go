@@ -119,7 +119,17 @@ func (nw *Network) Engine() *Engine { return nw.eng }
 // idempotent and always returns nil (it satisfies io.Closer). The
 // engine is the single source of truth for closedness: closing via
 // Network.Close or Network.Engine().Close closes both surfaces.
+//
+// Close acquires the tracked-state mutex before closing, so it
+// linearizes against SetState, Apply, and Step: a tracked-state call
+// either completes entirely before the close or observes the closed
+// handle and fails with ErrEngineClosed — never a mix of partial
+// mutation and another sentinel. (Closing through Engine().Close
+// bypasses the mutex; racing tracked-state calls still fail with
+// ErrEngineClosed, just without the strict ordering.)
 func (nw *Network) Close() error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	return nw.eng.Close()
 }
 
@@ -214,15 +224,20 @@ func (nw *Network) DetectAnomalies(ctx context.Context, states []State) (Anomaly
 // state. The state is copied; subsequent updates arrive as deltas via
 // Apply or Step.
 func (nw *Network) SetState(st State) error {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	// The closed check runs under the mutex, after which Close cannot
+	// slip in (it takes the same mutex): a SetState racing Close either
+	// fully installs the state before the close or fails with
+	// ErrEngineClosed. Closedness is checked before shape validation so
+	// a call racing Close reports the close, not an input sentinel.
 	if err := nw.closedErr(); err != nil {
 		return err
 	}
 	if err := validateState(nw.g, st); err != nil {
 		return err
 	}
-	nw.mu.Lock()
 	nw.advanceLocked(st.Clone(), nil)
-	nw.mu.Unlock()
 	return nil
 }
 
@@ -244,11 +259,12 @@ func (nw *Network) Current() (State, uint64) {
 // the provider's own retention window refunds the budget of states
 // that scroll out. Returns the new state snapshot.
 func (nw *Network) Apply(delta StateDelta) (State, error) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	// Closed check under the mutex: see SetState.
 	if err := nw.closedErr(); err != nil {
 		return nil, err
 	}
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
 	next, changed, err := nw.applyLocked(delta)
 	if err != nil {
 		return nil, err
@@ -268,10 +284,15 @@ func (nw *Network) Apply(delta StateDelta) (State, error) {
 // advances even when the distance evaluation is cancelled; re-query
 // via Current.
 func (nw *Network) Step(ctx context.Context, delta StateDelta) (Result, error) {
+	nw.mu.Lock()
+	// Closed check under the mutex: see SetState. The distance
+	// evaluation below runs outside it; a Close arriving in between
+	// fails that evaluation with ErrEngineClosed (the state still
+	// advances, as documented).
 	if err := nw.closedErr(); err != nil {
+		nw.mu.Unlock()
 		return Result{}, err
 	}
-	nw.mu.Lock()
 	prev := nw.cur
 	next, changed, err := nw.applyLocked(delta)
 	if err != nil {
@@ -283,6 +304,58 @@ func (nw *Network) Step(ctx context.Context, delta StateDelta) (Result, error) {
 	return nw.eng.Distance(ctx, prev, next)
 }
 
+// ApplyFrom advances an externally tracked state by a sparse delta,
+// without touching the handle's own tracked state: it validates delta
+// against st, returns the advanced copy, and reports the lineage to
+// the engine's ground-distance provider exactly as Apply does — the
+// next evaluation touching the new state derives its edge costs and
+// shortest-path trees from st's by O(|delta|) patching. st is not
+// mutated and must not be mutated afterwards (the provider may hold it
+// as a diff base); treat both st and the returned state as immutable
+// snapshots. ApplyFrom is how a serving layer tracks many named states
+// on one handle: each state's owner serializes its own updates, and
+// different states may advance concurrently. Safe for concurrent use.
+func (nw *Network) ApplyFrom(st State, delta StateDelta) (State, error) {
+	if err := nw.closedErr(); err != nil {
+		return nil, err
+	}
+	if err := validateState(nw.g, st); err != nil {
+		return nil, err
+	}
+	next, changed, err := applyDelta(nw.g, st, delta)
+	if err != nil {
+		return nil, err
+	}
+	if len(changed) > 0 {
+		nw.eng.AdvanceRef(st, next, changed)
+	}
+	return next, nil
+}
+
+// StepFrom is ApplyFrom plus the monitoring distance: it advances st
+// by delta and returns the new state along with SND(st, next),
+// computed on the handle's engine with full reuse of st's materialized
+// costs and repairable trees. Like Step, results are bit-identical to
+// a full recompute of the two states. Unlike Step it does not touch
+// the handle's own tracked state, so a server can drive hundreds of
+// independent named states through one Network. When the distance
+// evaluation fails (cancellation, a racing Close) the advanced state
+// is still returned alongside the error — like Step, the advance
+// survives; the caller chooses whether to keep it. A nil returned
+// state means the delta itself was rejected and nothing advanced.
+// Safe for concurrent use.
+func (nw *Network) StepFrom(ctx context.Context, st State, delta StateDelta) (State, Result, error) {
+	next, err := nw.ApplyFrom(st, delta)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res, err := nw.eng.Distance(ctx, st, next)
+	if err != nil {
+		return next, Result{}, err
+	}
+	return next, res, nil
+}
+
 // applyLocked validates delta against the tracked state and returns
 // the updated copy plus the users whose opinion actually changed.
 // Callers hold nw.mu.
@@ -290,17 +363,25 @@ func (nw *Network) applyLocked(delta StateDelta) (State, []int32, error) {
 	if nw.cur == nil {
 		return nil, nil, fmt.Errorf("snd: Apply before SetState: no tracked state: %w", ErrStateSize)
 	}
+	return applyDelta(nw.g, nw.cur, delta)
+}
+
+// applyDelta validates delta against base state cur and returns the
+// advanced copy plus the users whose opinion actually changed — the
+// shared core of the tracked-state path (applyLocked) and the
+// externally tracked one (ApplyFrom). cur is read only.
+func applyDelta(g *Graph, cur State, delta StateDelta) (State, []int32, error) {
 	for i, ch := range delta {
-		if ch.User < 0 || ch.User >= nw.g.N() {
+		if ch.User < 0 || ch.User >= g.N() {
 			return nil, nil, fmt.Errorf("snd: delta change %d addresses user %d of %d: %w: %w",
-				i, ch.User, nw.g.N(), ErrDeltaIndex, ErrStateSize)
+				i, ch.User, g.N(), ErrDeltaIndex, ErrStateSize)
 		}
 		if !ch.Opinion.Valid() {
 			return nil, nil, fmt.Errorf("snd: delta change %d has opinion %d: %w: %w",
 				i, ch.Opinion, ErrDeltaIndex, ErrInvalidOpinion)
 		}
 	}
-	next := nw.cur.Clone()
+	next := cur.Clone()
 	for _, ch := range delta {
 		next[ch.User] = ch.Opinion
 	}
@@ -312,7 +393,7 @@ func (nw *Network) applyLocked(delta StateDelta) (State, []int32, error) {
 	for _, ch := range delta {
 		if !seen[ch.User] {
 			seen[ch.User] = true
-			if next[ch.User] != nw.cur[ch.User] {
+			if next[ch.User] != cur[ch.User] {
 				changed = append(changed, int32(ch.User))
 			}
 		}

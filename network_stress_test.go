@@ -92,6 +92,57 @@ func TestNetworkConcurrentMixedTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Ground truth for the close storm below: a continuation of the
+	// step trajectory (seq's tracked state is trajectory[ticks] here),
+	// a Series window, an anomaly report, and an independent StepFrom
+	// lineage rooted mid-trajectory.
+	const ticks2 = 6
+	deltas2 := make([]StateDelta, ticks2)
+	cur2 := trajectory[ticks].Clone()
+	for tk := range deltas2 {
+		var d StateDelta
+		used := map[int]bool{}
+		for len(d) < 4 {
+			u := rng.Intn(n)
+			if used[u] {
+				continue
+			}
+			used[u] = true
+			op := Opinion(rng.Intn(3) - 1)
+			for op == cur2[u] {
+				op = Opinion(rng.Intn(3) - 1)
+			}
+			d = append(d, OpinionChange{User: u, Opinion: op})
+			cur2[u] = op
+		}
+		deltas2[tk] = d
+	}
+	wantStep2 := make([]float64, ticks2)
+	for tk, d := range deltas2 {
+		r, err := seq.Step(ctx, d)
+		if err != nil {
+			t.Fatalf("sequential step2 %d: %v", tk, err)
+		}
+		wantStep2[tk] = r.SND
+	}
+	wantSeries, err := seq.Series(ctx, trajectory[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReport, err := seq.DetectAnomalies(ctx, trajectory[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrom := make([]float64, ticks2)
+	curFrom := trajectory[2]
+	for tk, d := range deltas2 {
+		next, r, err := seq.StepFrom(ctx, curFrom, d)
+		if err != nil {
+			t.Fatalf("sequential StepFrom %d: %v", tk, err)
+		}
+		wantFrom[tk] = r.SND
+		curFrom = next
+	}
 	if err := seq.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -159,21 +210,31 @@ func TestNetworkConcurrentMixedTraffic(t *testing.T) {
 		t.Error(err)
 	}
 
-	// Close storm: readers race the Close. Each call must either
-	// return the exact sequential value or fail with ErrEngineClosed —
-	// never a wrong value, never a hang.
+	// Close storm: the whole API surface races one Close. Every call
+	// must either return the exact sequential value or fail with an
+	// error wrapping ErrEngineClosed — never a wrong value, never a
+	// different sentinel, never a panic. closeStormErr centralizes the
+	// assertion: a nil or ErrEngineClosed error passes, anything else
+	// is reported.
 	var cwg sync.WaitGroup
-	cerrc := make(chan error, 4)
-	for rd := 0; rd < 4; rd++ {
+	cerrc := make(chan error, 16)
+	stormErr := func(what string, err error) bool {
+		if err == nil {
+			return false
+		}
+		if !errors.Is(err, ErrEngineClosed) {
+			cerrc <- fmt.Errorf("close storm %s: error does not wrap ErrEngineClosed: %v", what, err)
+		}
+		return true
+	}
+	// Distance readers (value-pinned).
+	for rd := 0; rd < 2; rd++ {
 		cwg.Add(1)
 		go func(rd int) {
 			defer cwg.Done()
 			for i, pr := range pairs {
 				r, err := nw.Distance(ctx, trajectory[pr.a], trajectory[pr.b])
-				if err != nil {
-					if !errors.Is(err, ErrEngineClosed) {
-						cerrc <- fmt.Errorf("close storm reader %d: %v", rd, err)
-					}
+				if stormErr(fmt.Sprintf("reader %d", rd), err) {
 					return
 				}
 				if r.SND != wantDist[i] {
@@ -183,6 +244,93 @@ func TestNetworkConcurrentMixedTraffic(t *testing.T) {
 			}
 		}(rd)
 	}
+	// Tracked-state stepper continuing the trajectory (value-pinned
+	// until the close lands; after the first error the base state is
+	// ambiguous, so it stops).
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for tk, d := range deltas2 {
+			r, err := nw.Step(ctx, d)
+			if stormErr(fmt.Sprintf("step %d", tk), err) {
+				return
+			}
+			if r.SND != wantStep2[tk] {
+				cerrc <- fmt.Errorf("close storm step %d: SND = %v, want %v", tk, r.SND, wantStep2[tk])
+				return
+			}
+		}
+	}()
+	// Externally tracked StepFrom lineage (value-pinned, same rule).
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		cur := trajectory[2]
+		for tk, d := range deltas2 {
+			next, r, err := nw.StepFrom(ctx, cur, d)
+			if stormErr(fmt.Sprintf("stepfrom %d", tk), err) {
+				return
+			}
+			if r.SND != wantFrom[tk] {
+				cerrc <- fmt.Errorf("close storm StepFrom %d: SND = %v, want %v", tk, r.SND, wantFrom[tk])
+				return
+			}
+			cur = next
+		}
+	}()
+	// Batch queries: Series, Matrix, DetectAnomalies, Explain.
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for round := 0; ; round++ {
+			s, err := nw.Series(ctx, trajectory[:5])
+			if stormErr("series", err) {
+				return
+			}
+			if !reflect.DeepEqual(s, wantSeries) {
+				cerrc <- fmt.Errorf("close storm series diverged")
+				return
+			}
+			rep, err := nw.DetectAnomalies(ctx, trajectory[:5])
+			if stormErr("anomalies", err) {
+				return
+			}
+			if !reflect.DeepEqual(rep.Scores, wantReport.Scores) {
+				cerrc <- fmt.Errorf("close storm anomaly scores diverged")
+				return
+			}
+			m, err := nw.Matrix(ctx, matrixStates)
+			if stormErr("matrix", err) {
+				return
+			}
+			if !reflect.DeepEqual(m, wantMatrix) {
+				cerrc <- fmt.Errorf("close storm matrix diverged")
+				return
+			}
+			r, _, err := nw.Explain(ctx, trajectory[0], trajectory[1])
+			if stormErr("explain", err) {
+				return
+			}
+			if r.SND != wantDist[0] {
+				cerrc <- fmt.Errorf("close storm explain: SND = %v, want %v", r.SND, wantDist[0])
+				return
+			}
+		}
+	}()
+	// Tracked-state writer: Apply must also fail only with
+	// ErrEngineClosed once the close lands. Empty deltas keep the
+	// state content stable so the pinned stepper above stays valid
+	// (SetState would reset the trajectory under it; its error
+	// identity is asserted after the storm instead).
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for {
+			if _, err := nw.Apply(StateDelta{}); stormErr("apply", err) {
+				return
+			}
+		}
+	}()
 	if err := nw.Close(); err != nil {
 		t.Errorf("Close: %v", err)
 	}
@@ -190,5 +338,18 @@ func TestNetworkConcurrentMixedTraffic(t *testing.T) {
 	close(cerrc)
 	for err := range cerrc {
 		t.Error(err)
+	}
+
+	// After the storm the handle is closed for good: every entry point
+	// reports ErrEngineClosed, not an input sentinel — a short series
+	// or an oversized state must not mask the close.
+	if _, err := nw.Series(ctx, trajectory[:1]); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("Series on closed handle: %v, want ErrEngineClosed", err)
+	}
+	if err := nw.SetState(NewState(1)); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("SetState on closed handle: %v, want ErrEngineClosed", err)
+	}
+	if _, _, err := nw.StepFrom(ctx, NewState(1), nil); !errors.Is(err, ErrEngineClosed) {
+		t.Errorf("StepFrom on closed handle: %v, want ErrEngineClosed", err)
 	}
 }
