@@ -44,6 +44,12 @@ type scale struct {
 	scalingN, scalingStates, scalingTicks int
 	scalingMatrix, scalingNNQueries       int
 	scalingNNK                            int
+
+	// approx: the certified-approximation frontier (BENCH_approx.json).
+	approxN, approxStates int
+	approxAdopters        int
+	approxTries           int
+	approxMatrix          int
 }
 
 var presets = map[string]scale{
@@ -72,6 +78,9 @@ var presets = map[string]scale{
 		// worker count that the whole axis fits a CI job.
 		scalingN: 4000, scalingStates: 8, scalingTicks: 12,
 		scalingMatrix: 6, scalingNNQueries: 4, scalingNNK: 3,
+		// Small approx doubles as the CI certification smoke.
+		approxN: 20000, approxStates: 6,
+		approxAdopters: 400, approxTries: 3000, approxMatrix: 4,
 	},
 	"medium": {
 		fig7N: 10000, fig7States: 40,
@@ -92,6 +101,8 @@ var presets = map[string]scale{
 		// workload: the n = 20000 acceptance graph.
 		scalingN: 20000, scalingStates: 10, scalingTicks: 24,
 		scalingMatrix: 8, scalingNNQueries: 6, scalingNNK: 3,
+		approxN: 200000, approxStates: 6,
+		approxAdopters: 4000, approxTries: 20000, approxMatrix: 4,
 	},
 	"paper": {
 		fig7N: 20000, fig7States: 40,
@@ -110,11 +121,15 @@ var presets = map[string]scale{
 		ssspStates:     12,
 		scalingN:       50000, scalingStates: 12, scalingTicks: 32,
 		scalingMatrix: 10, scalingNNQueries: 8, scalingNNK: 4,
+		// Paper approx is the committed BENCH_approx.json workload: the
+		// n >= 10^6 monitoring series.
+		approxN: 1000000, approxStates: 6,
+		approxAdopters: 20000, approxTries: 60000, approxMatrix: 4,
 	},
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, sssp, flow, scalingcores, or all")
+	exp := flag.String("exp", "all", "experiment id: fig7, fig8, fig9, table1, fig10, fig11, fig12, ablation, engine, delta, sssp, flow, scalingcores, approx, or all")
 	preset := flag.String("preset", "small", "size preset: small, medium, paper")
 	seed := flag.Int64("seed", 42, "master random seed")
 	flag.StringVar(&benchJSONPath, "benchjson", "", "write the selected experiment's snapshot to this JSON file")
@@ -152,8 +167,9 @@ func main() {
 		"sssp":         runSSSP,
 		"flow":         runFlow,
 		"scalingcores": runScalingCores,
+		"approx":       runApprox,
 	}
-	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta", "sssp", "flow", "scalingcores"}
+	order := []string{"fig7", "fig8", "fig9", "table1", "fig10", "fig11", "fig12", "ablation", "engine", "delta", "sssp", "flow", "scalingcores", "approx"}
 	selected := strings.Split(*exp, ",")
 	if *exp == "all" {
 		selected = order

@@ -202,13 +202,50 @@
 // equals Hat by Theorem 2), and for Star under the semimetric
 // assumption (d(i,i) = 0) its own Lemma 1/2 reduction already makes.
 //
+// # Certified approximation
+//
+// The Eps entry points — Network.DistanceEps, PairsEps, SeriesEps,
+// MatrixEps, and Options.Epsilon for the free functions — trade
+// accuracy for speed under a certified error contract. Each returned
+// distance carries an envelope [Result.LB, Result.UB] satisfying
+//
+//	LB <= SND <= UB,  UB - LB <= Epsilon,  LB <= exact <= UB
+//
+// so the reported value is within Epsilon of the exact distance, with
+// the bound computed (not estimated) by the engine: the lower end is
+// an admissible bound and the upper end is the cost of a feasible
+// transport plan, per term. The approximation tier has three stages,
+// each sound on its own: a multilevel cluster-bank pass that runs the
+// shortest-path fan-out column-wise from the small side of the
+// reduced instance — one run per residual consumer plus one
+// multi-source run per cluster bank on the transpose graph — so the
+// coarsened cost matrix is exact while the fan-out collapses from one
+// run per supplier to one per column, with the envelope refined on
+// that same matrix (row bounds, then an entropic solve, finally an
+// exact min-cost-flow solve); the row-level screening bounds of the
+// exact pipeline, accepted when their gap fits the budget rather than
+// only when they coincide; and an entropic (Sinkhorn) transport solve
+// whose rounded plan and repaired duals certify an envelope on
+// mid-size instances. Terms no stage decides fall through to the
+// exact solver, so the contract holds for every input — Epsilon only
+// controls how often the cheap stages win.
+//
+// Epsilon = 0 (the default) disables every approximate stage and is
+// bit-identical to the exact entry points, for any worker count.
+// Exact results carry the degenerate envelope LB = UB = SND.
+// Engine.Stats reports how many terms each stage decided
+// (TermsApproxCoarse, TermsApproxGap, TermsApproxSinkhorn);
+// Options.NoBounds pins the exhaustive pipeline and disables the
+// approximation gates along with the screening bounds.
+//
 // # Errors
 //
 // Input validation fails with errors wrapping the structured sentinels
 // ErrStateSize, ErrInvalidOpinion, ErrClusterLabels, ErrShortSeries,
-// ErrDeltaIndex, and ErrEngineClosed; branch with errors.Is. A
-// malformed StateDelta entry (user index out of range, invalid opinion
-// value) wraps ErrDeltaIndex together with the matching shape sentinel.
+// ErrDeltaIndex, ErrBadEpsilon, and ErrEngineClosed; branch with
+// errors.Is. A malformed StateDelta entry (user index out of range,
+// invalid opinion value) wraps ErrDeltaIndex together with the
+// matching shape sentinel.
 //
 // # What is inside
 //

@@ -198,9 +198,32 @@ func (e *Engine) Distance(ctx context.Context, a, b opinion.State) (Result, erro
 // Pairs computes SND for every requested pair, scheduling all 4*len
 // terms across the worker pool. Results are aligned with pairs. When
 // ctx is cancelled mid-batch, Pairs stops scheduling work and returns
-// ctx.Err().
+// ctx.Err(). The engine's Options.Epsilon (default 0 — exact) is the
+// error budget; PairsEps overrides it per call.
 func (e *Engine) Pairs(ctx context.Context, pairs []StatePair) ([]Result, error) {
+	return e.PairsEps(ctx, pairs, e.opts.Epsilon)
+}
+
+// DistanceEps is Distance under an explicit certified error budget:
+// the result's [LB, UB] envelope contains the exact distance, its
+// width is at most eps, and the reported SND is the envelope's upper
+// end (so |SND - exact| <= eps). eps == 0 is the exact pipeline,
+// bit-identical to Distance on an Epsilon-0 engine.
+func (e *Engine) DistanceEps(ctx context.Context, a, b opinion.State, eps float64) (Result, error) {
+	res, err := e.PairsEps(ctx, []StatePair{{A: a, B: b}}, eps)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// PairsEps is Pairs under an explicit certified error budget (see
+// DistanceEps for the contract). Negative or NaN budgets are rejected.
+func (e *Engine) PairsEps(ctx context.Context, pairs []StatePair, eps float64) ([]Result, error) {
 	if err := e.closedErr(); err != nil {
+		return nil, err
+	}
+	if err := validEps(eps); err != nil {
 		return nil, err
 	}
 	if ctx == nil {
@@ -249,7 +272,7 @@ func (e *Engine) Pairs(ctx context.Context, pairs []StatePair) ([]Result, error)
 			return results, nil
 		}
 	}
-	outs, err := e.runTerms(ctx, todo, todoHash)
+	outs, err := e.runTerms(ctx, todo, todoHash, eps)
 	if err != nil {
 		return nil, err
 	}
@@ -260,21 +283,61 @@ func (e *Engine) Pairs(ctx context.Context, pairs []StatePair) ([]Result, error)
 		}
 		r := &results[i]
 		r.NDelta = todo[k].A.DiffCount(todo[k].B)
+		var lbs, ubs [4]float64
 		for t := 0; t < 4; t++ {
 			o := outs[4*k+t]
 			r.Terms[t] = o.val
+			lbs[t], ubs[t] = o.lb, o.ub
 			r.SSSPRuns += o.runs
 			r.EnginesUsed[t] = o.used
 		}
 		r.SND = (r.Terms[0] + r.Terms[1] + r.Terms[2] + r.Terms[3]) / 2
+		// The envelope aggregates exactly as the value does, so on the
+		// exact path (every term lb == ub == val) LB == UB == SND bit
+		// for bit.
+		r.LB = (lbs[0] + lbs[1] + lbs[2] + lbs[3]) / 2
+		r.UB = (ubs[0] + ubs[1] + ubs[2] + ubs[3]) / 2
 	}
 	return results, nil
+}
+
+// validEps rejects budgets outside [0, +Inf).
+func validEps(eps float64) error {
+	if eps < 0 || eps != eps || eps > 1e300 {
+		return fmt.Errorf("core: epsilon %v: %w", eps, ErrBadEpsilon)
+	}
+	return nil
+}
+
+// epsTermBudget splits a pair-level budget into the per-term budget of
+// eq. 3: SND averages four terms with weight 1/2, so four term
+// envelopes of width Epsilon/2 aggregate to a pair envelope of width
+// at most Epsilon. The safety factor absorbs the float rounding of the
+// aggregation, keeping the reported UB - LB <= Epsilon exactly.
+func epsTermBudget(eps float64) float64 {
+	return eps / 2 * (1 - 1e-9)
 }
 
 // Series computes the SND between every adjacent pair of states:
 // out[i] = SND(states[i], states[i+1]). Adjacent pairs share reference
 // states, so their SSSP rows and edge costs hit the ground cache.
 func (e *Engine) Series(ctx context.Context, states []opinion.State) ([]float64, error) {
+	results, err := e.SeriesEps(ctx, states, e.opts.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(results))
+	for i, r := range results {
+		out[i] = r.SND
+	}
+	return out, nil
+}
+
+// SeriesEps is Series under an explicit certified error budget,
+// returning the full per-transition Results (value, envelope, term
+// breakdown) instead of bare values. eps == 0 reproduces the exact
+// Series values bit for bit.
+func (e *Engine) SeriesEps(ctx context.Context, states []opinion.State, eps float64) ([]Result, error) {
 	if err := e.closedErr(); err != nil {
 		return nil, err
 	}
@@ -285,15 +348,7 @@ func (e *Engine) Series(ctx context.Context, states []opinion.State) ([]float64,
 	for i := range pairs {
 		pairs[i] = StatePair{A: states[i], B: states[i+1]}
 	}
-	results, err := e.Pairs(ctx, pairs)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, len(results))
-	for i, r := range results {
-		out[i] = r.SND
-	}
-	return out, nil
+	return e.PairsEps(ctx, pairs, eps)
 }
 
 // Matrix computes the full symmetric distance matrix of the given
@@ -305,8 +360,20 @@ func (e *Engine) Series(ctx context.Context, states []opinion.State) ([]float64,
 // returned matrix is bit-identical either way, since the engine's
 // result is a pure function of state content.
 func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float64, error) {
+	out, _, err := e.MatrixEps(ctx, states, e.opts.Epsilon)
+	return out, err
+}
+
+// MatrixEps is Matrix under an explicit certified error budget. The
+// second return is the largest envelope width (UB - LB) among the
+// evaluated pairs — the achieved gap, at most eps; it is 0 on the
+// exact path and for matrices decided entirely by deduplication.
+func (e *Engine) MatrixEps(ctx context.Context, states []opinion.State, eps float64) ([][]float64, float64, error) {
 	if err := e.closedErr(); err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if err := validEps(eps); err != nil {
+		return nil, 0, err
 	}
 	n := len(states)
 	// Validate up front (Pairs validates again, harmlessly): the dedup
@@ -314,7 +381,7 @@ func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float6
 	// screened and unscreened paths must reject invalid input alike.
 	for i := range states {
 		if err := e.opts.validate(e.g, states[i], states[i]); err != nil {
-			return nil, fmt.Errorf("core: state %d: %w", i, err)
+			return nil, 0, fmt.Errorf("core: state %d: %w", i, err)
 		}
 	}
 	out := make([][]float64, n)
@@ -322,7 +389,7 @@ func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float6
 		out[i] = make([]float64, n)
 	}
 	if n < 2 {
-		return out, nil
+		return out, 0, nil
 	}
 	// repOf[i] is the position of state i's representative in reps:
 	// with NoBounds every state represents itself; otherwise states
@@ -367,11 +434,17 @@ func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float6
 		e.stats.pairsDecided.Add(elided)
 	}
 	if len(pairs) == 0 {
-		return out, nil
+		return out, 0, nil
 	}
-	results, err := e.Pairs(ctx, pairs)
+	results, err := e.PairsEps(ctx, pairs, eps)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	maxGap := 0.0
+	for i := range results {
+		if g := results[i].UB - results[i].LB; g > maxGap {
+			maxGap = g
+		}
 	}
 	// Distance between representatives a < b sits at pair index
 	// a*(2u-a-1)/2 + (b-a-1) in the row-major i<j enumeration.
@@ -400,15 +473,16 @@ func (e *Engine) Matrix(ctx context.Context, states []opinion.State) ([][]float6
 			out[j][i] = d
 		}
 	}
-	return out, nil
+	return out, maxGap, nil
 }
 
 // termOut is the result of one term-level task.
 type termOut struct {
-	val  float64
-	runs int
-	used ComputeEngine
-	err  error
+	val    float64
+	lb, ub float64
+	runs   int
+	used   ComputeEngine
+	err    error
 }
 
 // runTerms evaluates the 4*len(pairs) EMD* terms across the pool and
@@ -418,9 +492,13 @@ type termOut struct {
 // the caller. Workers observe ctx between terms (and pass it down into
 // the SSSP and flow loops of each term), so a cancelled batch stops
 // claiming work and runTerms returns ctx.Err().
-func (e *Engine) runTerms(ctx context.Context, pairs []StatePair, hashes [][2]hashKey) ([]termOut, error) {
+func (e *Engine) runTerms(ctx context.Context, pairs []StatePair, hashes [][2]hashKey, eps float64) ([]termOut, error) {
 	total := 4 * len(pairs)
 	outs := make([]termOut, total)
+	epsTerm := 0.0
+	if eps > 0 {
+		epsTerm = epsTermBudget(eps)
+	}
 	// All configured workers spawn even when the batch has fewer terms
 	// than workers: a term's SSSP fan-out is split into sub-tasks, and
 	// workers with no term of their own — including the ones a single
@@ -471,13 +549,14 @@ func (e *Engine) runTerms(ctx context.Context, pairs []StatePair, hashes [][2]ha
 					help:    hp,
 					stats:   &e.stats,
 					refHash: hashes[pi][term/2],
+					epsTerm: epsTerm,
 				}
-				v, runs, used, err := computeTerm(e.g, spec, e.opts, tc)
+				tv, err := computeTerm(e.g, spec, e.opts, tc)
 				if err != nil {
 					err = fmt.Errorf("core: pair %d term %d (%s over D(%s)): %w",
 						pi, term, spec.op, refName(term), err)
 				}
-				outs[t] = termOut{val: v, runs: runs, used: used, err: err}
+				outs[t] = termOut{val: tv.val, lb: tv.lb, ub: tv.ub, runs: tv.runs, used: tv.used, err: err}
 				if termsLeft.Add(-1) == 0 && hp != nil {
 					hp.close()
 				}

@@ -32,6 +32,11 @@ var (
 	// one) after Close.
 	ErrEngineClosed = errors.New("engine is closed")
 
+	// ErrBadEpsilon reports a certified-error budget outside [0, +Inf):
+	// negative, NaN, or absurdly large. 0 is the exact pipeline;
+	// positive budgets admit the approximation tier.
+	ErrBadEpsilon = errors.New("invalid epsilon")
+
 	// ErrDeltaIndex reports an invalid entry in a sparse state delta:
 	// a change addressing a user outside [0, n), or carrying an opinion
 	// value outside {Negative, Neutral, Positive}. Delta validation

@@ -83,7 +83,8 @@ func Explain(ctx context.Context, g *graph.Digraph, a, b opinion.State, opts Opt
 // termBipartiteCollect runs the bipartite pipeline and harvests the
 // per-arc flows into user-level moves.
 func termBipartiteCollect(ctx context.Context, g *graph.Digraph, spec termSpec, red reduction, o Options, out *[]Move) (float64, int, error) {
-	v, runs, nw, arcs, err := termBipartiteNetwork(g, spec, red, o, termCtx{ctx: ctx}, true)
+	tv, nw, arcs, err := termBipartiteNetwork(g, spec, red, o, termCtx{ctx: ctx}, true, 0)
+	v, runs := tv.val, tv.runs
 	if err != nil {
 		return 0, runs, err
 	}

@@ -159,6 +159,23 @@ type Options struct {
 	// which EngineAuto still picks the bipartite pipeline. 0 selects
 	// 4e6.
 	BipartiteArcLimit int
+	// Epsilon is the default certified error budget for the
+	// approximation tier, in SND units: every distance an engine batch
+	// returns is accompanied by an envelope [LB, UB] with
+	// UB - LB <= Epsilon that provably contains the exact value (the
+	// reported SND is the envelope's feasible-plan upper end, so
+	// |SND - exact| <= Epsilon). 0 — the default — pins the exact
+	// pipeline: every value is bit-identical to an engine with no
+	// approximation code at all, and LB == UB == SND. Positive budgets
+	// let terms be decided by coarse cluster-representative bounds, by
+	// the relaxed LB/UB row gate, or by the entropic (Sinkhorn) solver's
+	// certified envelope, skipping SSSP runs and flow solves; a term
+	// whose envelope cannot be tightened within budget falls back to the
+	// exact solve, so the contract holds unconditionally. The per-call
+	// *Eps engine methods override this default. NoBounds disables the
+	// approximation gates along with the exact ones, forcing exact
+	// solves regardless of Epsilon.
+	Epsilon float64
 	// EscapeHops thresholds the ground distance: transport between
 	// users with no directed path (or one costing more) is charged
 	// EscapeHops maximally-expensive virtual hops (EscapeHops * U).
@@ -205,6 +222,9 @@ func (o Options) withDefaults() Options {
 	if o.EscapeHops <= 0 {
 		o.EscapeHops = 32
 	}
+	if !(o.Epsilon > 0) {
+		o.Epsilon = 0 // negatives and NaN mean "exact"
+	}
 	return o
 }
 
@@ -238,6 +258,12 @@ type Result struct {
 	// NDelta is the number of users whose opinion differs between the
 	// two states.
 	NDelta int
+	// LB and UB are the certified envelope around the exact distance:
+	// LB <= SND(exact) <= UB, with UB - LB bounded by the requested
+	// Epsilon. SND reports the feasible upper end of the envelope, so
+	// LB <= SND <= UB always holds. With Epsilon == 0 (the exact
+	// pipeline) both equal SND.
+	LB, UB float64
 	// SSSPRuns counts the single-source shortest-path computations the
 	// evaluation charges. Engine batches may serve some of them from
 	// the ground-distance cache, but the charge is reported either way

@@ -22,16 +22,27 @@ func Distance(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error
 	specs := eqSpecs(a, b)
 	var res Result
 	res.NDelta = a.DiffCount(b)
+	// The standalone path honors Options.Epsilon through the row-gate
+	// and entropic stages; the coarse cluster pass needs an Engine's
+	// partition and is engine-only.
+	tc := termCtx{}
+	if opts.Epsilon > 0 {
+		tc.epsTerm = epsTermBudget(opts.Epsilon)
+	}
+	var lbs, ubs [4]float64
 	for i, spec := range specs {
-		v, runs, used, err := computeTerm(g, spec, opts, termCtx{})
+		tv, err := computeTerm(g, spec, opts, tc)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: term %d (%s over D(%s)): %w", i, spec.op, refName(i), err)
 		}
-		res.Terms[i] = v
-		res.SSSPRuns += runs
-		res.EnginesUsed[i] = used
+		res.Terms[i] = tv.val
+		lbs[i], ubs[i] = tv.lb, tv.ub
+		res.SSSPRuns += tv.runs
+		res.EnginesUsed[i] = tv.used
 	}
 	res.SND = (res.Terms[0] + res.Terms[1] + res.Terms[2] + res.Terms[3]) / 2
+	res.LB = (lbs[0] + lbs[1] + lbs[2] + lbs[3]) / 2
+	res.UB = (ubs[0] + ubs[1] + ubs[2] + ubs[3]) / 2
 	return res, nil
 }
 
@@ -82,6 +93,7 @@ func Direct(g *graph.Digraph, a, b opinion.State, opts Options) (Result, error) 
 		res.EnginesUsed[i] = EngineDense
 	}
 	res.SND = (res.Terms[0] + res.Terms[1] + res.Terms[2] + res.Terms[3]) / 2
+	res.LB, res.UB = res.SND, res.SND
 	return res, nil
 }
 

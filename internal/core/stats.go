@@ -21,6 +21,10 @@ type engineStats struct {
 	termsWarmSolved   atomic.Int64 // terms solved warm from a transplanted basis
 	flowSolves        atomic.Int64 // cold flow solves (SSP or cost-scaling)
 
+	termsApproxCoarse   atomic.Int64 // terms decided by coarse cluster-representative bounds
+	termsApproxGap      atomic.Int64 // terms decided by the relaxed LB/UB row gate
+	termsApproxSinkhorn atomic.Int64 // terms decided by the entropic envelope
+
 	pairsRequested atomic.Int64 // pairs entering Pairs
 	pairsDecided   atomic.Int64 // pairs decided without scheduling (identical states)
 	pairBounds     atomic.Int64 // pair lower bounds computed by LowerBounds
@@ -47,6 +51,13 @@ type EngineStats struct {
 	// (identical instance), and TermsWarmSolved ran a warm SSP drain
 	// from a transplanted basis. FlowSolves counts the cold solves.
 	Terms, TermsBoundDecided, TermsWarmExact, TermsWarmSolved, FlowSolves int64
+	// TermsApproxCoarse, TermsApproxGap, and TermsApproxSinkhorn count
+	// the terms the approximation tier decided within its certified
+	// budget — by the coarse cluster-representative pass, by the relaxed
+	// LB/UB row gate, and by the entropic solver's envelope
+	// respectively. All are zero on an exact engine (Epsilon == 0); the
+	// sum is the approx-vs-exact solve split a dashboard wants.
+	TermsApproxCoarse, TermsApproxGap, TermsApproxSinkhorn int64
 	// Pairs counts pairs entering Engine.Pairs; PairsDecided of them
 	// were answered without scheduling any term (identical states).
 	// PairBounds counts pair lower bounds served by LowerBounds.
@@ -71,19 +82,22 @@ type EngineStats struct {
 // yields a result whose counters are all non-negative.
 func (s EngineStats) Sub(prev EngineStats) EngineStats {
 	return EngineStats{
-		SSSPTime:          s.SSSPTime - prev.SSSPTime,
-		FlowTime:          s.FlowTime - prev.FlowTime,
-		BoundTime:         s.BoundTime - prev.BoundTime,
-		Terms:             s.Terms - prev.Terms,
-		TermsBoundDecided: s.TermsBoundDecided - prev.TermsBoundDecided,
-		TermsWarmExact:    s.TermsWarmExact - prev.TermsWarmExact,
-		TermsWarmSolved:   s.TermsWarmSolved - prev.TermsWarmSolved,
-		FlowSolves:        s.FlowSolves - prev.FlowSolves,
-		Pairs:             s.Pairs - prev.Pairs,
-		PairsDecided:      s.PairsDecided - prev.PairsDecided,
-		PairBounds:        s.PairBounds - prev.PairBounds,
-		GroundRefs:        s.GroundRefs,
-		GroundBytes:       s.GroundBytes,
+		SSSPTime:            s.SSSPTime - prev.SSSPTime,
+		FlowTime:            s.FlowTime - prev.FlowTime,
+		BoundTime:           s.BoundTime - prev.BoundTime,
+		Terms:               s.Terms - prev.Terms,
+		TermsBoundDecided:   s.TermsBoundDecided - prev.TermsBoundDecided,
+		TermsWarmExact:      s.TermsWarmExact - prev.TermsWarmExact,
+		TermsWarmSolved:     s.TermsWarmSolved - prev.TermsWarmSolved,
+		FlowSolves:          s.FlowSolves - prev.FlowSolves,
+		TermsApproxCoarse:   s.TermsApproxCoarse - prev.TermsApproxCoarse,
+		TermsApproxGap:      s.TermsApproxGap - prev.TermsApproxGap,
+		TermsApproxSinkhorn: s.TermsApproxSinkhorn - prev.TermsApproxSinkhorn,
+		Pairs:               s.Pairs - prev.Pairs,
+		PairsDecided:        s.PairsDecided - prev.PairsDecided,
+		PairBounds:          s.PairBounds - prev.PairBounds,
+		GroundRefs:          s.GroundRefs,
+		GroundBytes:         s.GroundBytes,
 	}
 }
 
@@ -97,18 +111,21 @@ func (e *Engine) Stats() EngineStats {
 		groundRefs, groundBytes = e.prov.retention()
 	}
 	return EngineStats{
-		GroundRefs:        groundRefs,
-		GroundBytes:       groundBytes,
-		SSSPTime:          time.Duration(s.ssspNanos.Load()),
-		FlowTime:          time.Duration(s.flowNanos.Load()),
-		BoundTime:         time.Duration(s.boundNanos.Load()),
-		Terms:             s.terms.Load(),
-		TermsBoundDecided: s.termsBoundDecided.Load(),
-		TermsWarmExact:    s.termsWarmExact.Load(),
-		TermsWarmSolved:   s.termsWarmSolved.Load(),
-		FlowSolves:        s.flowSolves.Load(),
-		Pairs:             s.pairsRequested.Load(),
-		PairsDecided:      s.pairsDecided.Load(),
-		PairBounds:        s.pairBounds.Load(),
+		GroundRefs:          groundRefs,
+		GroundBytes:         groundBytes,
+		SSSPTime:            time.Duration(s.ssspNanos.Load()),
+		FlowTime:            time.Duration(s.flowNanos.Load()),
+		BoundTime:           time.Duration(s.boundNanos.Load()),
+		Terms:               s.terms.Load(),
+		TermsBoundDecided:   s.termsBoundDecided.Load(),
+		TermsWarmExact:      s.termsWarmExact.Load(),
+		TermsWarmSolved:     s.termsWarmSolved.Load(),
+		FlowSolves:          s.flowSolves.Load(),
+		TermsApproxCoarse:   s.termsApproxCoarse.Load(),
+		TermsApproxGap:      s.termsApproxGap.Load(),
+		TermsApproxSinkhorn: s.termsApproxSinkhorn.Load(),
+		Pairs:               s.pairsRequested.Load(),
+		PairsDecided:        s.pairsDecided.Load(),
+		PairBounds:          s.pairBounds.Load(),
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"snd/internal/cluster"
@@ -153,6 +154,11 @@ type termCtx struct {
 	// placement is fixed up front, so results are bit-identical to the
 	// sequential loop regardless of who computes which row.
 	help *helpPool
+	// epsTerm is this term's certified error budget in SND units
+	// (Epsilon/2 with a float-safety margin; see pairsEps). 0 — the
+	// zero termCtx — pins the exact pipeline: no approximation branch
+	// is even consulted.
+	epsTerm float64
 }
 
 // cancelled returns the context error, tolerating the zero termCtx.
@@ -178,13 +184,29 @@ func (tc termCtx) groundWeights(g *graph.Digraph, spec termSpec, o Options, reve
 	return tc.prov.weights(tc.refHash, spec.ref, spec.op, reversed)
 }
 
-// computeTerm evaluates one EMD* term. It returns the term value, the
-// number of SSSP runs charged, and the engine used.
-func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float64, int, ComputeEngine, error) {
+// termVal is one term's outcome: the returned value, its certified
+// envelope (lb == ub == val on every exact path), the SSSP runs
+// charged, and the engine used.
+type termVal struct {
+	val, lb, ub float64
+	runs        int
+	used        ComputeEngine
+}
+
+// exactVal wraps an exactly-computed term value (degenerate envelope).
+func exactVal(v float64, runs int) termVal {
+	return termVal{val: v, lb: v, ub: v, runs: runs}
+}
+
+// computeTerm evaluates one EMD* term. With tc.epsTerm == 0 every
+// branch below is the exact pipeline, bit-identical to the
+// pre-approximation engine; a positive budget admits the certified
+// approximation tier on the bipartite path.
+func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (termVal, error) {
 	n := g.N()
 	red := reduce(spec, o.Clusters, n)
 	if len(red.S) == 0 && len(red.C) == 0 && len(red.banks) == 0 {
-		return 0, 0, o.Engine, nil
+		return termVal{used: o.Engine}, nil
 	}
 	engine := o.Engine
 	if engine == EngineAuto {
@@ -215,16 +237,36 @@ func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float6
 	}
 	switch engine {
 	case EngineBipartite:
-		v, runs, err := termBipartite(g, spec, red, o, tc)
-		return v, runs, engine, err
+		// The approximation tier serves only the bipartite pipeline (its
+		// rows and reduced instance are what the bounds and the entropic
+		// solver consume); budget 0 — or NoBounds, which pins unscreened
+		// exact solves — keeps every gate closed.
+		var budget int64
+		if tc.epsTerm > 0 && !o.NoBounds {
+			budget = int64(tc.epsTerm * float64(red.scale))
+		}
+		if budget > 0 {
+			tv, ok, err := termApproxMultilevel(g, spec, red, o, tc, budget)
+			if err != nil || ok {
+				tv.used = engine
+				return tv, err
+			}
+		}
+		tv, err := termBipartite(g, spec, red, o, tc, budget)
+		tv.used = engine
+		return tv, err
 	case EngineNetwork:
 		v, err := termNetwork(g, spec, red, o, tc)
-		return v, 0, engine, err
+		tv := exactVal(v, 0)
+		tv.used = engine
+		return tv, err
 	case EngineDense:
 		v, err := termDense(g, spec, o, tc)
-		return v, n, engine, err
+		tv := exactVal(v, n)
+		tv.used = engine
+		return tv, err
 	default:
-		return 0, 0, engine, fmt.Errorf("core: unknown engine %d", engine)
+		return termVal{used: engine}, fmt.Errorf("core: unknown engine %d", engine)
 	}
 }
 
@@ -232,16 +274,19 @@ func computeTerm(g *graph.Digraph, spec termSpec, o Options, tc termCtx) (float6
 // supplier (forward) or per residual consumer (reverse, when the banks
 // sit on the supplier side), then an integer min-cost flow over the
 // reduced bipartite instance.
-func termBipartite(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx) (float64, int, error) {
-	v, runs, _, _, err := termBipartiteNetwork(g, spec, red, o, tc, false)
-	return v, runs, err
+func termBipartite(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx, budgetScaled int64) (termVal, error) {
+	tv, _, _, err := termBipartiteNetwork(g, spec, red, o, tc, false, budgetScaled)
+	return tv, err
 }
 
 // termBipartiteNetwork is termBipartite exposing the solved flow
 // network and — when collectArcs is set (Explain) — the user-level
 // meaning of every arc. The engine path passes false, so no arc-ref
-// garbage is assembled per term.
-func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx, collectArcs bool) (float64, int, *flow.Network, []arcRef, error) {
+// garbage is assembled per term. budgetScaled > 0 admits the
+// approximation gates: a term whose certified envelope (relaxed row
+// gate, then the entropic solver) closes within the budget returns it
+// without a flow solve; budget 0 is the exact pipeline unchanged.
+func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Options, tc termCtx, collectArcs bool, budgetScaled int64) (termVal, *flow.Network, []arcRef, error) {
 	maxCost := o.Costs.MaxCost()
 	inf := infCost(g.N(), maxCost, o.EscapeHops)
 
@@ -283,7 +328,7 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 				if tc.stats != nil {
 					tc.stats.termsWarmExact.Add(1)
 				}
-				return float64(exact.cost) / float64(red.scale), len(sources), nil, nil, nil
+				return exactVal(float64(exact.cost)/float64(red.scale), len(sources)), nil, nil, nil
 			}
 			// Shortcut declined (fan-out must run for the tracked
 			// state); the identical basis is still a perfect transplant
@@ -326,7 +371,7 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 	}
 	fanStart := time.Now()
 	if err := tc.fanOutRows(srcGraph, srcW, spec, o, sources, targets, rows, reversed, maxCost, inf); err != nil {
-		return 0, 0, nil, nil, err
+		return termVal{}, nil, nil, err
 	}
 	if tc.stats != nil {
 		addPhase(&tc.stats.ssspNanos, fanStart)
@@ -341,7 +386,10 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 	// Bound gate: with the rows in hand, an admissible lower bound and
 	// a feasible greedy upper bound are a rows-scan away; when they
 	// coincide they pin the integer optimum and the flow solve is
-	// skipped. Explain always solves (it needs the realized plan).
+	// skipped. A positive error budget relaxes the gate: an envelope
+	// within budget decides the term at its feasible upper end. Explain
+	// always solves (it needs the realized plan).
+	rowsLB, rowsUB := int64(0), int64(math.MaxInt64)
 	if !o.NoBounds && !collectArcs {
 		boundStart := time.Now()
 		lb, ub := termBoundsFromRows(red, rows, len(opposite), bankOff, len(targets), o.Gamma, capDist, tc.sc)
@@ -352,8 +400,16 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 			if tc.stats != nil {
 				tc.stats.termsBoundDecided.Add(1)
 			}
-			return float64(lb) / float64(red.scale), len(sources), nil, nil, nil
+			return exactVal(float64(lb)/float64(red.scale), len(sources)), nil, nil, nil
 		}
+		if budgetScaled > 0 && ub != math.MaxInt64 && ub-lb <= budgetScaled {
+			if tc.stats != nil {
+				tc.stats.termsApproxGap.Add(1)
+			}
+			scale := float64(red.scale)
+			return termVal{val: float64(ub) / scale, lb: float64(lb) / scale, ub: float64(ub) / scale, runs: len(sources)}, nil, nil, nil
+		}
+		rowsLB, rowsUB = lb, ub
 	}
 	// distSC(i, j): ground distance from red.S[i] to red.C[j].
 	distSC := func(i, j int) int64 {
@@ -375,6 +431,19 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 			}
 		}
 		return o.Gamma + best
+	}
+
+	// Entropic stage: on instances big enough that an exact solve
+	// hurts (and small enough that a dense entropic sweep is
+	// affordable), try the Sinkhorn envelope — a rounded feasible plan
+	// from above, a repaired dual from below — combined with the row
+	// bounds already in hand. Either it certifies the budget and the
+	// flow solve is skipped, or the exact solve below proceeds
+	// unaffected.
+	if budgetScaled > 0 {
+		if tv, ok := termSinkhorn(red, distSC, bankDist, rowsLB, rowsUB, budgetScaled, len(sources), tc); ok {
+			return tv, nil, nil, nil
+		}
 	}
 
 	// Assemble the bipartite min-cost-flow instance, scaled integral,
@@ -477,7 +546,7 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 		addPhase(&tc.stats.flowNanos, solveStart)
 	}
 	if err != nil {
-		return 0, len(sources), nil, nil, err
+		return termVal{runs: len(sources)}, nil, nil, err
 	}
 	if warmable && nw == tc.sc.nw && nw.NumArcs() >= warmMinArcs {
 		// Retain the solved instance as the newest basis. The network
@@ -504,7 +573,7 @@ func termBipartiteNetwork(g *graph.Digraph, spec termSpec, red reduction, o Opti
 		})
 		tc.sc.nw = nil
 	}
-	return float64(cost) / float64(red.scale), len(sources), nw, arcs, nil
+	return exactVal(float64(cost)/float64(red.scale), len(sources)), nw, arcs, nil
 }
 
 // fanOutRows fills rows[i] with the target-indexed ground-distance row

@@ -50,7 +50,7 @@ func BenchmarkTermBipartite(b *testing.B) {
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := termBipartite(g, spec, red, o, tc); err != nil {
+					if _, err := termBipartite(g, spec, red, o, tc, 0); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -208,7 +208,7 @@ func TestTransplantArcLayout(t *testing.T) {
 			if len(red.S) == 0 && len(red.C) == 0 && len(red.banks) == 0 {
 				continue
 			}
-			_, _, nw, arcs, err := termBipartiteNetwork(g, spec, red, o, termCtx{}, true)
+			_, nw, arcs, err := termBipartiteNetwork(g, spec, red, o, termCtx{}, true, 0)
 			if err != nil {
 				t.Fatalf("trial %d term %d: %v", trial, term, err)
 			}

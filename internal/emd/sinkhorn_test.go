@@ -1,0 +1,116 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"snd/internal/flow"
+)
+
+// TestSinkhornEnvelope checks the certification contract on random
+// balanced transportation problems: lb <= OPT <= ub for the exact
+// optimum computed by the SSP dense solver, across sizes, cost scales,
+// and temperatures.
+func TestSinkhornEnvelope(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		s := 2 + rng.Intn(8)
+		c := 2 + rng.Intn(8)
+		supply := make([]float64, s)
+		demand := make([]float64, c)
+		var tot float64
+		for i := range supply {
+			supply[i] = 1 + float64(rng.Intn(20))
+			tot += supply[i]
+		}
+		rem := tot
+		for j := range demand {
+			if j == c-1 {
+				demand[j] = rem
+			} else {
+				demand[j] = rem * rng.Float64() / 2
+				if demand[j] <= 0 {
+					demand[j] = rem / float64(2*c)
+				}
+				rem -= demand[j]
+			}
+		}
+		scale := float64(1 + rng.Intn(100))
+		cost := make([][]float64, s)
+		for i := range cost {
+			cost[i] = make([]float64, c)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(scale * rng.Float64())
+			}
+		}
+		dist := func(i, j int) float64 { return cost[i][j] }
+		exact, err := flow.SSPDense(flow.Dense{Supply: supply, Demand: demand, Cost: dist})
+		if err != nil {
+			t.Fatalf("trial %d: exact solve: %v", trial, err)
+		}
+		lb, ub, err := SinkhornBounds(supply, demand, dist, 0, SinkhornConfig{})
+		if err != nil {
+			t.Fatalf("trial %d: sinkhorn: %v", trial, err)
+		}
+		slack := 1e-6 * (1 + math.Abs(exact.Cost))
+		if lb > exact.Cost+slack {
+			t.Fatalf("trial %d: lb %v exceeds exact %v", trial, lb, exact.Cost)
+		}
+		if ub < exact.Cost-slack {
+			t.Fatalf("trial %d: ub %v below exact %v", trial, ub, exact.Cost)
+		}
+		if lb > ub+slack {
+			t.Fatalf("trial %d: crossed envelope [%v, %v]", trial, lb, ub)
+		}
+	}
+}
+
+// TestSinkhornTightens checks that cooling the temperature tightens
+// the envelope enough to certify a modest budget on a structured
+// instance (near-diagonal optimum).
+func TestSinkhornTightens(t *testing.T) {
+	const n = 12
+	supply := make([]float64, n)
+	demand := make([]float64, n)
+	for i := range supply {
+		supply[i] = 5
+		demand[i] = 5
+	}
+	dist := func(i, j int) float64 {
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		return float64(d * 3)
+	}
+	lb, ub, err := SinkhornBounds(supply, demand, dist, 1.0, SinkhornConfig{Attempts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum is 0 (identity plan).
+	if lb > 1e-9 {
+		t.Fatalf("lb %v above optimum 0", lb)
+	}
+	if ub-lb > 5 {
+		t.Fatalf("envelope [%v, %v] failed to tighten", lb, ub)
+	}
+}
+
+// TestSinkhornRejectsBadInput checks the argument guards.
+func TestSinkhornRejectsBadInput(t *testing.T) {
+	ok := func(i, j int) float64 { return 1 }
+	if _, _, err := SinkhornBounds(nil, []float64{1}, ok, 0, SinkhornConfig{}); err == nil {
+		t.Fatal("empty supply accepted")
+	}
+	if _, _, err := SinkhornBounds([]float64{1, 0}, []float64{1}, ok, 0, SinkhornConfig{}); err == nil {
+		t.Fatal("zero supply accepted")
+	}
+	if _, _, err := SinkhornBounds([]float64{3}, []float64{1}, ok, 0, SinkhornConfig{}); err == nil {
+		t.Fatal("unbalanced marginals accepted")
+	}
+	bad := func(i, j int) float64 { return math.Inf(1) }
+	if _, _, err := SinkhornBounds([]float64{1}, []float64{1}, bad, 0, SinkhornConfig{}); err == nil {
+		t.Fatal("infinite cost accepted")
+	}
+}

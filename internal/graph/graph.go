@@ -16,9 +16,14 @@ import (
 	"sync"
 )
 
-// Digraph is an immutable directed graph in CSR form.
+// Digraph is an immutable directed graph in CSR form. Row offsets are
+// int32 (edge counts above 2^31-1 are rejected at build time, an
+// assumption the int32 edge-index mappings below already make), which
+// halves the per-node footprint — at n = 10^6 nodes the offsets cost
+// 4 MB instead of 8 MB per graph, and the engine holds two (the graph
+// and its transpose).
 type Digraph struct {
-	off []int   // len N+1; out-edges of u are adj[off[u]:off[u+1]]
+	off []int32 // len N+1; out-edges of u are adj[off[u]:off[u+1]]
 	adj []int32 // len M; sorted within each row
 
 	revOnce sync.Once
@@ -37,12 +42,12 @@ func (g *Digraph) M() int { return len(g.adj) }
 func (g *Digraph) Out(u int) []int32 { return g.adj[g.off[u]:g.off[u+1]] }
 
 // OutDegree returns the number of out-edges of u.
-func (g *Digraph) OutDegree(u int) int { return g.off[u+1] - g.off[u] }
+func (g *Digraph) OutDegree(u int) int { return int(g.off[u+1] - g.off[u]) }
 
 // EdgeRange returns the half-open CSR index range of u's out-edges.
 // Edge index e in [lo, hi) has head g.Head(e); per-edge cost arrays
 // produced by package opinion are aligned with these indices.
-func (g *Digraph) EdgeRange(u int) (lo, hi int) { return g.off[u], g.off[u+1] }
+func (g *Digraph) EdgeRange(u int) (lo, hi int) { return int(g.off[u]), int(g.off[u+1]) }
 
 // Head returns the head (target) node of edge index e.
 func (g *Digraph) Head(e int) int32 { return g.adj[e] }
@@ -59,7 +64,7 @@ func (g *Digraph) EdgeIndex(u, v int) int {
 	row := g.Out(u)
 	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
 	if i < len(row) && row[i] == int32(v) {
-		return g.off[u] + i
+		return int(g.off[u]) + i
 	}
 	return -1
 }
@@ -95,7 +100,7 @@ func (g *Digraph) buildReverse() {
 		return
 	}
 	n := g.N()
-	off := make([]int, n+1)
+	off := make([]int32, n+1)
 	for _, v := range g.adj {
 		off[v+1]++
 	}
@@ -105,7 +110,7 @@ func (g *Digraph) buildReverse() {
 	adj := make([]int32, len(g.adj))
 	origIdx := make([]int32, len(g.adj)) // rev edge -> orig edge
 	toRev := make([]int32, len(g.adj))   // orig edge -> rev edge
-	cursor := make([]int, n)
+	cursor := make([]int32, n)
 	copy(cursor, off[:n])
 	for u := 0; u < n; u++ {
 		lo, hi := g.EdgeRange(u)
@@ -138,7 +143,7 @@ func (g *Digraph) ReverseEdge(e int) int {
 // Tail returns the tail (source) node of edge index e by binary search
 // over the CSR row offsets.
 func (g *Digraph) Tail(e int) int32 {
-	u := sort.Search(g.N(), func(u int) bool { return g.off[u+1] > e })
+	u := sort.Search(g.N(), func(u int) bool { return int(g.off[u+1]) > e })
 	return int32(u)
 }
 
@@ -204,6 +209,9 @@ func (b *Builder) AddEdge(u, v int) {
 // retained).
 func (b *Builder) Build() *Digraph {
 	m := len(b.tails)
+	if m > 1<<31-1 {
+		panic(fmt.Sprintf("graph: %d edges exceed the int32 CSR limit", m))
+	}
 	order := make([]int32, m)
 	for i := range order {
 		order[i] = int32(i)
@@ -215,7 +223,7 @@ func (b *Builder) Build() *Digraph {
 		}
 		return b.heads[a] < b.heads[c]
 	})
-	off := make([]int, b.n+1)
+	off := make([]int32, b.n+1)
 	adj := make([]int32, 0, m)
 	var prevT, prevH int32 = -1, -1
 	for _, idx := range order {

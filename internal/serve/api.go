@@ -159,13 +159,25 @@ type QueryRequest struct {
 	Query []int8 `json:"query,omitempty"`
 	// K bounds the neighbor count for op == "nearest" (default 1).
 	K int `json:"k,omitempty"`
+	// Epsilon is a certified per-distance error budget for
+	// distance/pairs/series/matrix ops: every reported value is within
+	// Epsilon of the exact distance, and the response reports the
+	// achieved envelope width (MaxGap). 0 (the default) is the exact
+	// path, byte-identical to pre-epsilon responses; other ops reject
+	// a non-zero Epsilon.
+	Epsilon float64 `json:"epsilon,omitempty"`
 }
 
 // PairResult is one distance evaluation of a distance/pairs query.
+// LB/UB carry the certified envelope around SND and are present only
+// when the query requested an Epsilon > 0, so exact responses are
+// byte-identical to pre-epsilon ones.
 type PairResult struct {
 	SND    float64    `json:"snd"`
 	Terms  [4]float64 `json:"terms"`
 	NDelta int        `json:"n_delta"`
+	LB     *float64   `json:"lb,omitempty"`
+	UB     *float64   `json:"ub,omitempty"`
 }
 
 // NeighborResult is one nearest-neighbor hit.
@@ -185,6 +197,11 @@ type QueryResponse struct {
 	Scores    []float64         `json:"scores,omitempty"`
 	Matrix    [][]float64       `json:"matrix,omitempty"`
 	Neighbors []NeighborResult  `json:"neighbors,omitempty"`
+	// Epsilon echoes the request's certified error budget; MaxGap is
+	// the largest achieved envelope width (UB - LB) over the computed
+	// distances. Both are present only when the request set Epsilon.
+	Epsilon float64  `json:"epsilon,omitempty"`
+	MaxGap  *float64 `json:"max_gap,omitempty"`
 }
 
 // StatsResponse is the body of GET /v1/tenants/{t}/stats: the
@@ -206,6 +223,12 @@ type StatsResponse struct {
 	PairBounds        int64   `json:"pair_bounds"`
 	GroundRefs        int64   `json:"ground_refs"`
 	GroundBytes       int64   `json:"ground_bytes"`
+	// The approximation-tier counters: terms decided by the coarse
+	// cluster pass, by the relaxed row-bound gate, and by the entropic
+	// (Sinkhorn) stage. Exact traffic leaves all three at zero.
+	TermsApproxCoarse   int64 `json:"terms_approx_coarse"`
+	TermsApproxGap      int64 `json:"terms_approx_gap"`
+	TermsApproxSinkhorn int64 `json:"terms_approx_sinkhorn"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

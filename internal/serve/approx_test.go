@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"testing"
+)
+
+// TestServeEpsilon covers the certified-approximation query surface:
+// epsilon-0 responses stay byte-identical to the pre-epsilon wire
+// shape, epsilon queries carry a certified envelope containing the
+// exact value, invalid budgets and unsupported ops map to 400, and the
+// approx solve counters reach stats and /metrics.
+func TestServeEpsilon(t *testing.T) {
+	t.Parallel()
+	c, _ := newTestServer(t, Config{}, 0)
+	const n, seed = 300, 5
+	c.must(http.MethodPost, "/v1/tenants", CreateTenantRequest{Name: "t", Graph: testGraphSpec(n, seed)}, nil)
+	rng := rand.New(rand.NewSource(seed))
+	opsA := randomOpinions(n, 0.5, rng)
+	opsB := randomOpinions(n, 0.5, rng)
+	opsC := randomOpinions(n, 0.5, rng)
+	c.must(http.MethodPut, "/v1/tenants/t/states/a", PutStateRequest{Opinions: opsA}, nil)
+	c.must(http.MethodPut, "/v1/tenants/t/states/b", PutStateRequest{Opinions: opsB}, nil)
+	c.must(http.MethodPut, "/v1/tenants/t/states/c", PutStateRequest{Opinions: opsC}, nil)
+
+	shadow := shadowNetwork(t, n, seed)
+	exact, err := shadow.Distance(context.Background(), toState(opsA), toState(opsB))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Epsilon omitted: the raw body must not mention the approx fields,
+	// so pre-epsilon clients see byte-identical responses.
+	var raw json.RawMessage
+	c.must(http.MethodPost, "/v1/tenants/t/query",
+		QueryRequest{Op: "distance", States: []string{"a", "b"}}, &raw)
+	for _, field := range []string{"lb", "ub", "max_gap", "epsilon"} {
+		if bytes.Contains(raw, []byte(`"`+field+`"`)) {
+			t.Fatalf("exact response leaked approx field %q: %s", field, raw)
+		}
+	}
+	var exactResp QueryResponse
+	if err := json.Unmarshal(raw, &exactResp); err != nil {
+		t.Fatal(err)
+	}
+	if exactResp.Results[0].SND != exact.SND {
+		t.Fatalf("exact query: got %v, shadow says %v", exactResp.Results[0].SND, exact.SND)
+	}
+
+	// An epsilon distance query carries a certified envelope around the
+	// exact value.
+	const eps = 5.0
+	var resp QueryResponse
+	c.must(http.MethodPost, "/v1/tenants/t/query",
+		QueryRequest{Op: "distance", States: []string{"a", "b"}, Epsilon: eps}, &resp)
+	r := resp.Results[0]
+	if r.LB == nil || r.UB == nil || resp.MaxGap == nil {
+		t.Fatalf("epsilon response missing envelope: %+v", resp)
+	}
+	if *r.UB-*r.LB > eps || *resp.MaxGap > eps {
+		t.Fatalf("envelope wider than eps: [%v, %v], max gap %v", *r.LB, *r.UB, *resp.MaxGap)
+	}
+	if exact.SND < *r.LB-1e-9 || exact.SND > *r.UB+1e-9 {
+		t.Fatalf("exact %v outside certified envelope [%v, %v]", exact.SND, *r.LB, *r.UB)
+	}
+	if math.Abs(r.SND-exact.SND) > eps {
+		t.Fatalf("|%v - %v| exceeds eps %v", r.SND, exact.SND, eps)
+	}
+
+	// Series and matrix report the achieved gap.
+	c.must(http.MethodPost, "/v1/tenants/t/query",
+		QueryRequest{Op: "series", States: []string{"a", "b", "c"}, Epsilon: eps}, &resp)
+	if resp.MaxGap == nil || *resp.MaxGap > eps || len(resp.Distances) != 2 {
+		t.Fatalf("series epsilon response: %+v", resp)
+	}
+	c.must(http.MethodPost, "/v1/tenants/t/query",
+		QueryRequest{Op: "matrix", States: []string{"a", "b", "c"}, Epsilon: eps}, &resp)
+	if resp.MaxGap == nil || *resp.MaxGap > eps {
+		t.Fatalf("matrix epsilon response: %+v", resp)
+	}
+
+	// A generous budget must actually engage the approx tier, and the
+	// counters must surface in stats and /metrics. The pair must be
+	// fresh: a previously queried pair is answered exactly from the
+	// warm-start ring before any approximation gate is consulted.
+	opsD := randomOpinions(n, 0.5, rng)
+	c.must(http.MethodPut, "/v1/tenants/t/states/d", PutStateRequest{Opinions: opsD}, nil)
+	c.must(http.MethodPost, "/v1/tenants/t/query",
+		QueryRequest{Op: "pairs", Pairs: [][2]string{{"a", "d"}}, Epsilon: 1e6}, &resp)
+	var stats StatsResponse
+	c.must(http.MethodGet, "/v1/tenants/t/stats", nil, &stats)
+	if stats.TermsApproxCoarse+stats.TermsApproxGap+stats.TermsApproxSinkhorn == 0 {
+		t.Fatal("approx counters still zero after a generous-budget query")
+	}
+	req, _ := http.NewRequest(http.MethodGet, c.base+"/metrics", nil)
+	mresp, err := c.hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if !bytes.Contains(buf.Bytes(), []byte(`snd_engine_approx_solves_total{tenant="t"}`)) {
+		t.Fatal("metrics missing snd_engine_approx_solves_total")
+	}
+
+	// Invalid budgets and unsupported ops are the client's fault.
+	if code, e := c.do(http.MethodPost, "/v1/tenants/t/query", nil,
+		QueryRequest{Op: "distance", States: []string{"a", "b"}, Epsilon: -1}, nil); code != http.StatusBadRequest || e.Sentinel != "ErrBadEpsilon" {
+		t.Fatalf("negative epsilon: code %d sentinel %q", code, e.Sentinel)
+	}
+	if code, e := c.do(http.MethodPost, "/v1/tenants/t/query", nil,
+		QueryRequest{Op: "anomalies", States: []string{"a", "b", "c"}, Epsilon: eps}, nil); code != http.StatusBadRequest || e.Sentinel != "BadRequest" {
+		t.Fatalf("anomalies with epsilon: code %d sentinel %q", code, e.Sentinel)
+	}
+}

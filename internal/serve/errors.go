@@ -53,6 +53,7 @@ func statusFor(err error) int {
 		errors.Is(err, snd.ErrDeltaIndex),
 		errors.Is(err, snd.ErrClusterLabels),
 		errors.Is(err, snd.ErrShortSeries),
+		errors.Is(err, snd.ErrBadEpsilon),
 		errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest // 400
 	default:
@@ -91,6 +92,8 @@ func sentinelName(err error) string {
 		return "ErrClusterLabels"
 	case errors.Is(err, snd.ErrShortSeries):
 		return "ErrShortSeries"
+	case errors.Is(err, snd.ErrBadEpsilon):
+		return "ErrBadEpsilon"
 	case errors.Is(err, ErrBadRequest):
 		return "BadRequest"
 	default:

@@ -171,6 +171,16 @@ func renderTenants(w io.Writer, infos []tenantMetrics) {
 		func(ti tenantMetrics) string { return i64(ti.stats.Pairs) })
 	counter("snd_engine_pairs_decided_total", "Pairs decided without scheduling (identical states).",
 		func(ti tenantMetrics) string { return i64(ti.stats.PairsDecided) })
+	counter("snd_engine_approx_solves_total", "Terms decided by the certified approximation tier (all stages).",
+		func(ti tenantMetrics) string {
+			return i64(ti.stats.TermsApproxCoarse + ti.stats.TermsApproxGap + ti.stats.TermsApproxSinkhorn)
+		})
+	counter("snd_engine_terms_approx_coarse_total", "Terms decided by the coarse cluster-representative pass.",
+		func(ti tenantMetrics) string { return i64(ti.stats.TermsApproxCoarse) })
+	counter("snd_engine_terms_approx_gap_total", "Terms decided by the relaxed row-bound gap gate.",
+		func(ti tenantMetrics) string { return i64(ti.stats.TermsApproxGap) })
+	counter("snd_engine_terms_approx_sinkhorn_total", "Terms decided by the entropic transport stage.",
+		func(ti tenantMetrics) string { return i64(ti.stats.TermsApproxSinkhorn) })
 	gauge("snd_engine_ground_refs", "Ground provider: live reference-state entries.",
 		func(ti tenantMetrics) string { return i64(ti.stats.GroundRefs) })
 	gauge("snd_engine_ground_bytes", "Ground provider: retained bytes against the cache budget.",

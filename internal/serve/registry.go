@@ -104,6 +104,10 @@ func (t *Tenant) statsResponse(window bool) StatsResponse {
 		PairBounds:        s.PairBounds,
 		GroundRefs:        s.GroundRefs,
 		GroundBytes:       s.GroundBytes,
+
+		TermsApproxCoarse:   s.TermsApproxCoarse,
+		TermsApproxGap:      s.TermsApproxGap,
+		TermsApproxSinkhorn: s.TermsApproxSinkhorn,
 	}
 }
 

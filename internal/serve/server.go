@@ -319,6 +319,15 @@ func (s *Server) routeQuery(w http.ResponseWriter, r *http.Request, tenantName s
 func runQuery(ctx context.Context, t *Tenant, req QueryRequest) (QueryResponse, error) {
 	resp := QueryResponse{Op: req.Op}
 	nw := t.net
+	eps := req.Epsilon
+	if eps != 0 {
+		switch req.Op {
+		case "distance", "pairs", "series", "matrix":
+			resp.Epsilon = eps
+		default:
+			return resp, badRequestf("op %q does not accept epsilon", req.Op)
+		}
+	}
 	switch req.Op {
 	case "distance":
 		if len(req.States) != 2 {
@@ -328,12 +337,13 @@ func runQuery(ctx context.Context, t *Tenant, req QueryRequest) (QueryResponse, 
 		if err != nil {
 			return resp, err
 		}
-		res, err := nw.Distance(ctx, states[0], states[1])
+		res, err := nw.DistanceEps(ctx, states[0], states[1], eps)
 		if err != nil {
 			return resp, err
 		}
 		resp.Versions = versions
-		resp.Results = []PairResult{{SND: res.SND, Terms: res.Terms, NDelta: res.NDelta}}
+		resp.Results = []PairResult{pairResult(res, eps > 0)}
+		setMaxGap(&resp, eps, res.UB-res.LB)
 	case "pairs":
 		if len(req.Pairs) == 0 {
 			return resp, badRequestf("pairs wants at least one pair")
@@ -350,15 +360,20 @@ func runQuery(ctx context.Context, t *Tenant, req QueryRequest) (QueryResponse, 
 		for i := range req.Pairs {
 			pairs[i] = snd.StatePair{A: states[2*i], B: states[2*i+1]}
 		}
-		results, err := nw.Pairs(ctx, pairs)
+		results, err := nw.PairsEps(ctx, pairs, eps)
 		if err != nil {
 			return resp, err
 		}
 		resp.Versions = versions
 		resp.Results = make([]PairResult, len(results))
+		gap := 0.0
 		for i, res := range results {
-			resp.Results[i] = PairResult{SND: res.SND, Terms: res.Terms, NDelta: res.NDelta}
+			resp.Results[i] = pairResult(res, eps > 0)
+			if g := res.UB - res.LB; g > gap {
+				gap = g
+			}
 		}
+		setMaxGap(&resp, eps, gap)
 	case "series", "anomalies":
 		states, versions, err := t.pin(req.States)
 		if err != nil {
@@ -366,11 +381,19 @@ func runQuery(ctx context.Context, t *Tenant, req QueryRequest) (QueryResponse, 
 		}
 		resp.Versions = versions
 		if req.Op == "series" {
-			dists, err := nw.Series(ctx, states)
+			results, err := nw.SeriesEps(ctx, states, eps)
 			if err != nil {
 				return resp, err
 			}
-			resp.Distances = dists
+			resp.Distances = make([]float64, len(results))
+			gap := 0.0
+			for i, res := range results {
+				resp.Distances[i] = res.SND
+				if g := res.UB - res.LB; g > gap {
+					gap = g
+				}
+			}
+			setMaxGap(&resp, eps, gap)
 		} else {
 			rep, err := nw.DetectAnomalies(ctx, states)
 			if err != nil {
@@ -384,12 +407,13 @@ func runQuery(ctx context.Context, t *Tenant, req QueryRequest) (QueryResponse, 
 		if err != nil {
 			return resp, err
 		}
-		m, err := nw.Matrix(ctx, states)
+		m, gap, err := nw.MatrixEps(ctx, states, eps)
 		if err != nil {
 			return resp, err
 		}
 		resp.Versions = versions
 		resp.Matrix = m
+		setMaxGap(&resp, eps, gap)
 	case "nearest":
 		if len(req.Query) == 0 {
 			return resp, badRequestf("nearest wants an inline query state")
@@ -428,4 +452,24 @@ func runQuery(ctx context.Context, t *Tenant, req QueryRequest) (QueryResponse, 
 		return resp, badRequestf("unknown op %q", req.Op)
 	}
 	return resp, nil
+}
+
+// pairResult maps a library Result onto the wire shape; the certified
+// envelope rides along only for epsilon queries, so exact responses
+// stay byte-identical to pre-epsilon ones.
+func pairResult(res snd.Result, withEnvelope bool) PairResult {
+	pr := PairResult{SND: res.SND, Terms: res.Terms, NDelta: res.NDelta}
+	if withEnvelope {
+		lb, ub := res.LB, res.UB
+		pr.LB, pr.UB = &lb, &ub
+	}
+	return pr
+}
+
+// setMaxGap reports the largest achieved envelope width on epsilon
+// queries.
+func setMaxGap(resp *QueryResponse, eps, gap float64) {
+	if eps > 0 {
+		resp.MaxGap = &gap
+	}
 }

@@ -33,6 +33,10 @@ var (
 	ErrShortSeries = core.ErrShortSeries
 	// ErrEngineClosed reports a call on a closed Network (or Engine).
 	ErrEngineClosed = core.ErrEngineClosed
+	// ErrBadEpsilon reports an invalid certified-error budget handed to
+	// the Eps entry points or Options.Epsilon: negative, NaN, or
+	// absurdly large.
+	ErrBadEpsilon = core.ErrBadEpsilon
 	// ErrDeltaIndex reports an invalid StateDelta entry: a change
 	// addressing a user outside [0, n), or carrying an opinion value
 	// outside {Negative, Neutral, Positive}. Such failures also wrap
@@ -160,6 +164,36 @@ func (nw *Network) DistanceValue(ctx context.Context, a, b State) (float64, erro
 // pairs. Cancelling ctx mid-batch returns ctx.Err().
 func (nw *Network) Pairs(ctx context.Context, pairs []StatePair) ([]Result, error) {
 	return nw.eng.Pairs(ctx, pairs)
+}
+
+// DistanceEps is Distance with a certified error budget: the returned
+// Result carries an envelope [LB, UB] with LB <= SND <= UB and
+// UB - LB <= eps, and the exact distance is guaranteed to lie inside
+// the envelope, so |SND - exact| <= eps. eps = 0 is the exact path,
+// bit-identical to Distance. A negative or NaN eps fails with an error
+// wrapping ErrBadEpsilon. See Options.Epsilon for the contract.
+func (nw *Network) DistanceEps(ctx context.Context, a, b State, eps float64) (Result, error) {
+	return nw.eng.DistanceEps(ctx, a, b, eps)
+}
+
+// PairsEps is Pairs with a certified per-distance error budget; see
+// DistanceEps.
+func (nw *Network) PairsEps(ctx context.Context, pairs []StatePair, eps float64) ([]Result, error) {
+	return nw.eng.PairsEps(ctx, pairs, eps)
+}
+
+// SeriesEps is Series with a certified per-distance error budget,
+// returning full Results (value, envelope, terms) rather than bare
+// values; see DistanceEps.
+func (nw *Network) SeriesEps(ctx context.Context, states []State, eps float64) ([]Result, error) {
+	return nw.eng.SeriesEps(ctx, states, eps)
+}
+
+// MatrixEps is Matrix with a certified per-distance error budget. It
+// additionally reports the largest achieved envelope width over the
+// matrix (0 when eps = 0); see DistanceEps.
+func (nw *Network) MatrixEps(ctx context.Context, states []State, eps float64) ([][]float64, float64, error) {
+	return nw.eng.MatrixEps(ctx, states, eps)
 }
 
 // Series computes the SND between every adjacent pair of states:
