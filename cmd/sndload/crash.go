@@ -1,0 +1,211 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"snd"
+	"snd/internal/serve"
+)
+
+// The crash drill runs sndload twice around a kill -9 of the server:
+// the first pass (-expect-kill -progress FILE) drives throttled
+// ingest until the server dies and records every state's highest
+// acked version; the second pass (-verify-recovery -progress FILE)
+// regenerates the same deterministic plans from the seed and demands
+// the restarted server hold every acked version — opinions
+// bit-identical to the precomputed trajectory — plus distance
+// spot-checks against a direct shadow network.
+
+// progressState records one state's highest acked version (0 = the
+// initial PUT never acked, so recovery owes nothing for it).
+type progressState struct {
+	Name  string `json:"name"`
+	Acked uint64 `json:"acked"`
+}
+
+// progressTenant records one tenant's acked footprint.
+type progressTenant struct {
+	Name    string          `json:"name"`
+	Created bool            `json:"created"`
+	States  []progressState `json:"states"`
+}
+
+// progressFile is the on-disk handoff between the two passes. Seed
+// and Preset pin the plan generation so the verifier can rebuild the
+// exact trajectories the driver ingested.
+type progressFile struct {
+	Seed    int64            `json:"seed"`
+	Preset  string           `json:"preset"`
+	Tenants []progressTenant `json:"tenants"`
+}
+
+// writeProgress snapshots the acked footprint after the drive has
+// stopped (all workers joined, so the plain acked fields are final).
+func writeProgress(path string, plans []*tenantPlan, p preset, seed int64) {
+	pf := progressFile{Seed: seed, Preset: presetName(p)}
+	for _, tp := range plans {
+		pt := progressTenant{Name: tp.name, Created: tp.created}
+		for _, sp := range tp.states {
+			pt.States = append(pt.States, progressState{Name: sp.name, Acked: sp.acked})
+		}
+		pf.Tenants = append(pf.Tenants, pt)
+	}
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		fail("encoding progress: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fail("writing %s: %v", path, err)
+	}
+	log.Printf("wrote progress %s", path)
+}
+
+// ackedTotal counts acked mutations (puts + steps) across the plans.
+func ackedTotal(plans []*tenantPlan) int {
+	total := 0
+	for _, tp := range plans {
+		for _, sp := range tp.states {
+			total += int(sp.acked)
+		}
+	}
+	return total
+}
+
+// waitReady polls /readyz until the server reports ready: up during
+// boot-time WAL replay, and the switch that makes "start server, then
+// immediately drive load" scripts race-free.
+func waitReady(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", base, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// verifyRecovered checks a restarted server against the progress
+// file: every tenant whose create was acked must exist, every state
+// must sit at or above its acked version (an unacked tail record that
+// reached the disk may replay as one extra version), and the opinions
+// at the recovered version must be bit-identical to the precomputed
+// trajectory. A handful of distance queries per tenant are then
+// replayed against a shadow network, pinned-version exact.
+func verifyRecovered(c *client, plans []*tenantPlan, p preset, progressPath string, seed int64) {
+	data, err := os.ReadFile(progressPath)
+	if err != nil {
+		fail("reading %s: %v", progressPath, err)
+	}
+	var pf progressFile
+	if err := json.Unmarshal(data, &pf); err != nil {
+		fail("decoding %s: %v", progressPath, err)
+	}
+	if pf.Seed != seed || pf.Preset != presetName(p) {
+		fail("progress %s was recorded with -seed %d -preset %s; rerun with those flags",
+			progressPath, pf.Seed, pf.Preset)
+	}
+	recorded := make(map[string]progressTenant, len(pf.Tenants))
+	for _, pt := range pf.Tenants {
+		recorded[pt.Name] = pt
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(seed + 777))
+	checkedStates, checkedQueries := 0, 0
+	for _, tp := range plans {
+		pt, ok := recorded[tp.name]
+		if !ok {
+			fail("progress %s has no record of tenant %q", progressPath, tp.name)
+		}
+		if !pt.Created {
+			continue // the server died before this tenant's create acked
+		}
+		var ti serve.TenantInfo
+		if err := c.do("GET", "/v1/tenants/"+tp.name, nil, &ti); err != nil {
+			fail("recovered tenant %s lost: %v", tp.name, err)
+		}
+		byName := make(map[string]*statePlan, len(tp.states))
+		for _, sp := range tp.states {
+			byName[sp.name] = sp
+		}
+		var survivors []*statePlan
+		for _, ps := range pt.States {
+			if ps.Acked == 0 {
+				continue // put never acked; the state may or may not exist
+			}
+			sp := byName[ps.Name]
+			if sp == nil {
+				fail("progress %s names unknown state %s/%s", progressPath, tp.name, ps.Name)
+			}
+			var si serve.StateInfo
+			if err := c.do("GET", "/v1/tenants/"+tp.name+"/states/"+sp.name+"?opinions=1", nil, &si); err != nil {
+				fail("recovered state %s/%s (acked version %d) lost: %v", tp.name, sp.name, ps.Acked, err)
+			}
+			if si.Version < ps.Acked || int(si.Version) > len(sp.traj) {
+				fail("state %s/%s recovered at version %d; acked %d, trajectory max %d",
+					tp.name, sp.name, si.Version, ps.Acked, len(sp.traj))
+			}
+			want := sp.traj[si.Version-1]
+			if len(si.Opinion) != len(want) {
+				fail("state %s/%s recovered with %d opinions, want %d",
+					tp.name, sp.name, len(si.Opinion), len(want))
+			}
+			for u := range want {
+				if snd.Opinion(si.Opinion[u]) != want[u] {
+					fail("state %s/%s user %d: recovered opinion %d, trajectory has %d at version %d",
+						tp.name, sp.name, u, si.Opinion[u], want[u], si.Version)
+				}
+			}
+			survivors = append(survivors, sp)
+			checkedStates++
+		}
+
+		// Spot-check the recovered numerics, not just the vectors: the
+		// rebuilt engine must answer distances bit-identical to a fresh
+		// shadow evaluated at the versions the query pinned.
+		if len(survivors) >= 2 {
+			shadow := shadowNetwork(tp)
+			for k := 0; k < 4; k++ {
+				a := survivors[rng.Intn(len(survivors))]
+				b := survivors[rng.Intn(len(survivors))]
+				req := serve.QueryRequest{Op: "distance", States: []string{a.name, b.name}}
+				var resp serve.QueryResponse
+				if err := c.do("POST", "/v1/tenants/"+tp.name+"/query", req, &resp); err != nil {
+					fail("recovered query %s: %v", tp.name, err)
+				}
+				va, vb := resp.Versions[a.name], resp.Versions[b.name]
+				if va < 1 || int(va) > len(a.traj) || vb < 1 || int(vb) > len(b.traj) {
+					fail("recovered query %s pinned versions %d/%d out of trajectory range", tp.name, va, vb)
+				}
+				want, err := shadow.Distance(ctx, a.traj[va-1], b.traj[vb-1])
+				if err != nil {
+					fail("shadow distance %s: %v", tp.name, err)
+				}
+				got := resp.Results[0]
+				if got.SND != want.SND || got.Terms != want.Terms || got.NDelta != want.NDelta {
+					fail("recovered distance %s %s@%d/%s@%d: served %v, shadow %v",
+						tp.name, a.name, va, b.name, vb, got.SND, want.SND)
+				}
+				checkedQueries++
+			}
+			shadow.Close()
+		}
+	}
+	log.Printf("PASS: recovery verified — %d states at-or-above their acked versions with bit-identical opinions, %d distance queries match the shadow",
+		checkedStates, checkedQueries)
+}

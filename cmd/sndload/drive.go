@@ -16,37 +16,72 @@ import (
 
 // client is a minimal JSON client for the sndserve wire format.
 type client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retries atomic.Int64
 }
 
-// do issues one request; non-2xx responses become errors carrying the
-// server's sentinel name.
+// Retryable statuses get capped exponential backoff with full jitter:
+// 429 means admission control shed the request, 503 means the server
+// is briefly not ready (replaying its WAL) or degraded — both are
+// worth a bounded number of re-sends before giving up.
+const (
+	retryAttempts = 6
+	retryBase     = 25 * time.Millisecond
+	retryCap      = time.Second
+)
+
+// do issues one request, retrying 429/503 responses with backoff;
+// other non-2xx responses become errors carrying the server's
+// sentinel name.
 func (c *client) do(method, path string, body, out any) error {
-	var buf bytes.Buffer
+	var payload []byte
 	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
 			return err
 		}
+		payload = b
 	}
-	req, err := http.NewRequest(method, c.base+path, &buf)
+	backoff := retryBase
+	for attempt := 1; ; attempt++ {
+		status, err := c.once(method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		if attempt >= retryAttempts ||
+			(status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) {
+			return err
+		}
+		c.retries.Add(1)
+		time.Sleep(time.Duration(rand.Int63n(int64(backoff)))) // full jitter
+		if backoff *= 2; backoff > retryCap {
+			backoff = retryCap
+		}
+	}
+}
+
+// once issues a single attempt, returning the HTTP status (0 on
+// transport errors) so do can decide whether to retry.
+func (c *client) once(method, path string, payload []byte, out any) (int, error) {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(payload))
 	if err != nil {
-		return err
+		return 0, err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		var e serve.ErrorResponse
 		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s %s: %d %s (%s)", method, path, resp.StatusCode, e.Error, e.Sentinel)
+		return resp.StatusCode, fmt.Errorf("%s %s: %d %s (%s)", method, path, resp.StatusCode, e.Error, e.Sentinel)
 	}
 	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 	}
-	return nil
+	return resp.StatusCode, nil
 }
 
 // opStat collects one operation type's latencies.
@@ -136,6 +171,7 @@ func drive(c *client, plans []*tenantPlan, p preset, workers int, seed int64) (*
 		if err := c.do("POST", "/v1/tenants", serve.CreateTenantRequest{Name: tp.name, Graph: tp.spec}, &info); err != nil {
 			return nil, err
 		}
+		tp.created = true
 		tp.users, tp.edges = info.Users, info.Edges
 	}
 
@@ -185,6 +221,8 @@ func driveWorker(c *client, run *runResult, p preset, ti int, tp *tenantPlan, w,
 		if err != nil {
 			return err
 		}
+		sp.acked = 1
+		pace()
 	}
 	qProb := float64(p.queries) / float64(p.states*p.ticks)
 	for tick := 0; tick < p.ticks; tick++ {
@@ -204,6 +242,8 @@ func driveWorker(c *client, run *runResult, p preset, ti int, tp *tenantPlan, w,
 				return fmt.Errorf("step %s/%s tick %d: version %d, want %d", tp.name, sp.name, tick, got, tick+2)
 			}
 			sp.got[tick] = *resp.Results[0].SND
+			sp.acked = uint64(tick + 2)
+			pace()
 			if rng.Float64() < qProb {
 				if err := runQuery(c, run, ti, tp, rng); err != nil {
 					return err
@@ -212,6 +252,16 @@ func driveWorker(c *client, run *runResult, p preset, ti int, tp *tenantPlan, w,
 		}
 	}
 	return nil
+}
+
+// throttle stretches the run for crash tests: pace sleeps this long
+// after every acked mutation so a kill lands mid-ingest.
+var throttle time.Duration
+
+func pace() {
+	if throttle > 0 {
+		time.Sleep(throttle)
+	}
 }
 
 // runQuery fires one randomized query from the op mix and records the

@@ -8,12 +8,25 @@
 //
 //	sndload [-addr http://127.0.0.1:8080] [-preset small|medium]
 //	        [-workers 2] [-seed 1] [-out BENCH_serve.json]
+//	        [-throttle 0] [-keep] [-progress FILE]
+//	        [-expect-kill] [-verify-recovery]
 //
 // With -addr "" (the default) sndload self-hosts: it starts an
 // in-process server on a loopback port and drives it over real HTTP,
 // so a standalone run needs no separate sndserve. The medium preset
 // is the committed acceptance workload: 4 tenants x 100 tracked
 // states with zero tolerated failures.
+//
+// Against an external -addr, sndload first polls /readyz until the
+// server reports ready, and retries 429/503 responses with capped
+// exponential backoff (the retry count lands in the report).
+//
+// The crash-recovery flags script the kill -9 drill: -throttle paces
+// ingest so a kill lands mid-stream, -expect-kill makes a mid-run
+// server death a success, -progress records every state's highest
+// acked version, and a second run with -verify-recovery checks the
+// restarted server holds every acked version bit-identical to the
+// precomputed trajectories (plus distance spot-checks vs a shadow).
 package main
 
 import (
@@ -68,14 +81,23 @@ func main() {
 	workers := flag.Int("workers", 2, "client goroutines per tenant")
 	seed := flag.Int64("seed", 1, "traffic seed (graphs, states, deltas, query mix)")
 	out := flag.String("out", "BENCH_serve.json", "report path")
+	throttleF := flag.Duration("throttle", 0, "pause after every acked mutation (stretches the run for crash drills)")
+	keep := flag.Bool("keep", false, "leave the tenants on the server after the run")
+	progress := flag.String("progress", "", "record per-state acked versions as JSON at this path")
+	expectKill := flag.Bool("expect-kill", false, "treat a mid-run server death as success (crash drill)")
+	verifyRecovery := flag.Bool("verify-recovery", false, "check a restarted server against -progress instead of driving load")
 	flag.Parse()
 
 	p, ok := presets[*presetName]
 	if !ok {
 		log.Fatalf("unknown preset %q", *presetName)
 	}
+	throttle = *throttleF
 	base := *addr
 	if base == "" {
+		if *verifyRecovery || *expectKill {
+			log.Fatalf("-verify-recovery and -expect-kill need an external -addr")
+		}
 		srv := serve.NewServer(serve.NewRegistry(serve.Config{}), 0)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -89,6 +111,8 @@ func main() {
 		}()
 		base = "http://" + ln.Addr().String()
 		log.Printf("self-hosting on %s", base)
+	} else if err := waitReady(base, time.Minute); err != nil {
+		log.Fatalf("%v", err)
 	}
 	c := &client{base: base, hc: &http.Client{Timeout: 5 * time.Minute}}
 
@@ -101,19 +125,46 @@ func main() {
 		plans[i] = newTenantPlan(fmt.Sprintf("t%d", i), p, *seed+int64(1000*i), rng)
 	}
 
+	if *verifyRecovery {
+		if *progress == "" {
+			log.Fatalf("-verify-recovery needs -progress")
+		}
+		verifyRecovered(c, plans, p, *progress, *seed)
+		return
+	}
+
 	run, err := drive(c, plans, p, *workers, *seed)
+	if *expectKill {
+		// The crash drill: the server is kill -9'd mid-run, so the drive
+		// is expected to die on a transport error. Everything acked
+		// before the kill is owed back after recovery; record it.
+		if *progress != "" {
+			writeProgress(*progress, plans, p, *seed)
+		}
+		if err == nil {
+			log.Fatalf("FAIL: expected the server to die mid-run, but traffic completed (raise -throttle?)")
+		}
+		log.Printf("server died mid-run as scripted: %v", err)
+		log.Printf("PASS: %d acked mutations recorded for the recovery check", ackedTotal(plans))
+		return
+	}
 	if err != nil {
 		log.Fatalf("drive: %v", err)
 	}
-	log.Printf("traffic done: %d requests in %.2fs (%d failed)",
-		run.requests(), run.wall.Seconds(), run.failed)
+	log.Printf("traffic done: %d requests in %.2fs (%d failed, %d retried)",
+		run.requests(), run.wall.Seconds(), run.failed, c.retries.Load())
 
 	mismatches := verify(plans, p, run, *seed)
 	report(c, plans, p, run, mismatches, *workers, *seed, *out)
 
-	for _, tp := range plans {
-		if err := c.do("DELETE", "/v1/tenants/"+tp.name, nil, nil); err != nil {
-			log.Fatalf("delete %s: %v", tp.name, err)
+	if *progress != "" {
+		writeProgress(*progress, plans, p, *seed)
+	}
+	if !*keep {
+		for _, tp := range plans {
+			if err := c.do("DELETE", "/v1/tenants/"+tp.name, nil, nil); err != nil {
+				log.Fatalf("delete %s: %v", tp.name, err)
+			}
 		}
 	}
 	if run.failed > 0 || mismatches > 0 {
@@ -131,15 +182,17 @@ type statePlan struct {
 	deltas []serve.Delta
 	traj   []snd.State // traj[v-1] is the snapshot at version v
 	got    []float64   // server-reported SND per tick
+	acked  uint64      // highest server-acked version (one writer per state)
 }
 
 // tenantPlan is one tenant's precomputed workload.
 type tenantPlan struct {
-	name   string
-	spec   serve.GraphSpec
-	users  int
-	edges  int
-	states []*statePlan
+	name    string
+	spec    serve.GraphSpec
+	users   int
+	edges   int
+	states  []*statePlan
+	created bool // tenant create acked by the server
 }
 
 func newTenantPlan(name string, p preset, graphSeed int64, rng *rand.Rand) *tenantPlan {

@@ -55,6 +55,7 @@ type benchReport struct {
 	WallSeconds float64 `json:"wall_seconds"`
 	Requests    int     `json:"requests"`
 	Failed      int64   `json:"failed"`
+	Retries     int64   `json:"retries"`
 	TotalRPS    float64 `json:"total_rps"`
 
 	VerifiedSteps   int `json:"verified_steps"`
@@ -85,6 +86,7 @@ func report(c *client, plans []*tenantPlan, p preset, run *runResult, mismatches
 		WallSeconds: run.wall.Seconds(),
 		Requests:    run.requests(),
 		Failed:      run.failed,
+		Retries:     c.retries.Load(),
 
 		VerifiedSteps:   run.verifiedSteps,
 		VerifiedQueries: run.verifiedQueries,

@@ -9,9 +9,21 @@
 //
 //	sndserve [-addr :8080] [-deadline 30s]
 //	         [-tenant-inflight 32] [-global-inflight 256] [-max-tenants 64]
+//	         [-data-dir DIR] [-fsync always|interval|never]
+//	         [-fsync-interval 100ms] [-checkpoint-every 1024]
+//	         [-strict-recovery]
+//
+// With -data-dir set, every acked mutation is written ahead to a
+// crash-safe log in DIR and the registry is rebuilt from the newest
+// snapshot plus the log tail on startup. The listener comes up
+// immediately (liveness at /healthz) but /v1 routes answer 503 until
+// replay finishes — poll /readyz for readiness. A WAL write failure
+// degrades the server to read-only (ingest 503s, queries keep
+// serving) rather than crashing.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener stops,
-// in-flight requests drain, and every tenant's engine is closed.
+// in-flight requests drain, a final checkpoint compacts the log, and
+// every tenant's engine is closed.
 package main
 
 import (
@@ -26,6 +38,7 @@ import (
 	"time"
 
 	"snd/internal/serve"
+	"snd/internal/wal"
 )
 
 func main() {
@@ -37,21 +50,62 @@ func main() {
 	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight request limit (0 = default 32)")
 	globalInflight := flag.Int("global-inflight", 0, "global in-flight request limit (0 = default 256)")
 	maxTenants := flag.Int("max-tenants", 0, "tenant registry capacity (0 = default 64)")
+	dataDir := flag.String("data-dir", "", "write-ahead log directory (empty = no durability)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background sync period for -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 1024, "records per segment before a snapshot checkpoint compacts the log")
+	strictRecovery := flag.Bool("strict-recovery", false,
+		"refuse to start on any WAL corruption instead of truncating the torn tail")
 	flag.Parse()
+
+	var policy wal.SyncPolicy
+	switch *fsync {
+	case "always":
+		policy = wal.SyncAlways
+	case "interval":
+		policy = wal.SyncInterval
+	case "never":
+		policy = wal.SyncNever
+	default:
+		log.Fatalf("unknown -fsync policy %q (want always, interval, or never)", *fsync)
+	}
 
 	reg := serve.NewRegistry(serve.Config{
 		TenantInFlight: *tenantInflight,
 		GlobalInFlight: *globalInflight,
 		MaxTenants:     *maxTenants,
 	})
-	hs := &http.Server{Addr: *addr, Handler: serve.NewServer(reg, *deadline)}
+	srv := serve.NewServer(reg, *deadline)
+	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The listener comes up before recovery so liveness probes pass
+	// during a long replay; /v1 routes are gated by readiness.
+	if *dataDir != "" {
+		srv.SetReady(false)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("listening on %s (default deadline %s)", *addr, *deadline)
+
+	if *dataDir != "" {
+		start := time.Now()
+		info, err := reg.AttachWAL(*dataDir, wal.Options{
+			Policy:   policy,
+			Interval: *fsyncInterval,
+			Strict:   *strictRecovery,
+		}, *checkpointEvery)
+		if err != nil {
+			log.Fatalf("wal recovery in %s: %v", *dataDir, err)
+		}
+		log.Printf("recovery: %d tenants, %d states from snapshot lsn %d + %d replayed records in %s (truncated %d bytes, dropped %d snapshots)",
+			info.Tenants, info.States, info.SnapshotLSN, info.ReplayedRecords,
+			time.Since(start).Round(time.Millisecond), info.TruncatedBytes, info.DroppedSnapshots)
+		srv.SetReady(true)
+		log.Printf("ready: wal at %s (fsync %s, checkpoint every %d records)", *dataDir, policy, *checkpointEvery)
+	}
 
 	select {
 	case err := <-errc:

@@ -292,6 +292,17 @@
 // text at /metrics. cmd/sndload drives mixed traffic at a server,
 // verifies sampled responses bit-identical against direct library
 // calls, and writes the committed BENCH_serve.json latency snapshot.
+//
+// With -data-dir the server is durable: every acked mutation is
+// written ahead to a CRC-framed WAL (snd/internal/wal) under the
+// default fsync-before-ack policy, periodic snapshot checkpoints
+// compact the log, and startup replays snapshot + tail so recovered
+// states are bit-identical to the pre-crash ones (acked data is never
+// lost; an unacked torn tail truncates cleanly). A failing disk
+// degrades the server to read-only — ingest answers 503 Degraded,
+// queries keep serving — rather than crashing, and /readyz separates
+// readiness (replay done, not degraded) from /healthz liveness.
 // The README's "Running the server" section is the quickstart;
-// docs/ARCHITECTURE.md ("The serving layer") has the design.
+// docs/ARCHITECTURE.md ("The serving layer", "Durability") has the
+// design.
 package snd

@@ -10,7 +10,8 @@
 //
 // # Routes
 //
-//	GET    /healthz
+//	GET    /healthz                         liveness (process is up)
+//	GET    /readyz                          readiness (replay done, not degraded)
 //	GET    /metrics
 //	GET    /v1/tenants                      list tenants
 //	POST   /v1/tenants                      create a tenant
@@ -27,6 +28,14 @@
 // All bodies are JSON. Errors carry an ErrorResponse body whose
 // Sentinel field names the snd error the failure wrapped, and the
 // HTTP status is derived from it (see errors.go).
+//
+// With a WAL attached (Registry.AttachWAL, wired to sndserve's
+// -data-dir flag) every acked mutation is logged before its
+// in-memory commit and the registry recovers bit-identical state on
+// restart; a log write failure flips the registry into sticky
+// degraded read-only mode, where mutations answer 503 with the
+// "Degraded" sentinel and queries keep serving (see durability.go).
+// /v1 routes answer 503 "NotReady" until boot-time replay finishes.
 package serve
 
 // CreateTenantRequest is the body of POST /v1/tenants. Exactly one

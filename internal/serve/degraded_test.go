@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"snd/internal/wal"
+)
+
+// newFaultServer spins up an HTTP server whose registry logs through a
+// FaultFS, returning the client, server, and the fault plan control.
+func newFaultServer(t *testing.T) (*testClient, *Server, *wal.FaultFS) {
+	t.Helper()
+	ffs := wal.NewFaultFS(wal.NewMemFS())
+	rg := NewRegistry(recoveryConfig())
+	if _, err := rg.AttachWAL(walDir, wal.Options{FS: ffs}, 1024); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	srv := NewServer(rg, time.Minute)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		hs.Close()
+		rg.CloseAll()
+	})
+	return &testClient{t: t, base: hs.URL, hc: hs.Client()}, srv, ffs
+}
+
+// fetch grabs a plain-text endpoint's status and body.
+func fetch(t *testing.T, c *testClient, path string) (int, string) {
+	t.Helper()
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// degradeCases are the fault-injection scenarios: every write-side
+// failure mode must end in degraded read-only mode, never a crash.
+func degradeCases() map[string]wal.FaultPlan {
+	return map[string]wal.FaultPlan{
+		// A full disk: the write itself reports ENOSPC.
+		"enospc": {FailWriteAfter: 2, WriteErr: syscall.ENOSPC},
+		// A torn write: half the frame lands before the failure — what
+		// a crash mid-write leaves on disk.
+		"torn-write": {FailWriteAfter: 2, WriteErr: syscall.EIO, ShortWrite: true},
+		// A short write with no room at all.
+		"short-write": {FailWriteAfter: 2, WriteErr: io.ErrShortWrite},
+		// fsync failure: the write landed in the page cache but
+		// stability is unknown — acking would lie.
+		"fsync-error": {FailSyncAfter: 3, SyncErr: syscall.EIO},
+	}
+}
+
+// TestServeDegradedReadOnly drives each fault scenario end to end:
+// ingest 503s with the Degraded sentinel, queries keep serving,
+// /readyz flips not-ready, /metrics exposes the gauge — and a restart
+// from the damaged image recovers every acked mutation.
+func TestServeDegradedReadOnly(t *testing.T) {
+	for name, plan := range degradeCases() {
+		name, plan := name, plan
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, srv, ffs := newFaultServer(t)
+			rg := srv.Registry()
+
+			var ti TenantInfo
+			c.must("POST", "/v1/tenants", CreateTenantRequest{Name: "t0", Graph: testGraphSpec(24, 7), Workers: 2}, &ti)
+			ops := make([]int8, 24)
+			ops[3], ops[11] = 1, -1
+			c.must("PUT", "/v1/tenants/t0/states/sa", PutStateRequest{Opinions: ops}, nil)
+			c.must("PUT", "/v1/tenants/t0/states/sb", PutStateRequest{Opinions: make([]int8, 24)}, nil)
+
+			// Arm the fault: the counters reset on SetPlan, so the next
+			// few operations hit the failing write/sync.
+			ffs.SetPlan(plan)
+			var failedAt int
+			for i := 0; ; i++ {
+				code, e := c.do("POST", "/v1/tenants/t0/states/sa:step",
+					nil, StepRequest{Deltas: []Delta{{{User: 5, Opinion: 1}}}, ApplyOnly: true}, nil)
+				if code == http.StatusOK {
+					continue
+				}
+				if code != http.StatusServiceUnavailable || e.Sentinel != "Degraded" {
+					t.Fatalf("step under fault: got %d sentinel %q, want 503 Degraded", code, e.Sentinel)
+				}
+				failedAt = i
+				break
+			}
+			if failedAt > 8 {
+				t.Fatalf("fault never fired (%d acked steps)", failedAt)
+			}
+			if !rg.Degraded() {
+				t.Fatal("registry not degraded after WAL failure")
+			}
+
+			// Degradation is sticky: every mutation class 503s.
+			if code, e := c.do("PUT", "/v1/tenants/t0/states/sc", nil, PutStateRequest{Opinions: make([]int8, 24)}, nil); code != 503 || e.Sentinel != "Degraded" {
+				t.Fatalf("put while degraded: %d %q", code, e.Sentinel)
+			}
+			if code, e := c.do("POST", "/v1/tenants", nil, CreateTenantRequest{Name: "t1", Graph: testGraphSpec(24, 8)}, nil); code != 503 || e.Sentinel != "Degraded" {
+				t.Fatalf("create while degraded: %d %q", code, e.Sentinel)
+			}
+			if code, e := c.do("DELETE", "/v1/tenants/t0", nil, nil, nil); code != 503 || e.Sentinel != "Degraded" {
+				t.Fatalf("delete while degraded: %d %q", code, e.Sentinel)
+			}
+
+			// Queries keep serving from memory.
+			var q QueryResponse
+			c.must("POST", "/v1/tenants/t0/query", QueryRequest{Op: "distance", States: []string{"sa", "sb"}}, &q)
+			var sl StateList
+			c.must("GET", "/v1/tenants/t0/states", nil, &sl)
+
+			// Liveness stays green; readiness flips; the gauge shows.
+			if code, _ := fetch(t, c, "/healthz"); code != 200 {
+				t.Fatalf("healthz while degraded: %d", code)
+			}
+			if code, body := fetch(t, c, "/readyz"); code != 503 || !strings.Contains(body, "degraded") {
+				t.Fatalf("readyz while degraded: %d %q", code, body)
+			}
+			if _, body := fetch(t, c, "/metrics"); !strings.Contains(body, "snd_degraded 1") {
+				t.Fatal("metrics missing snd_degraded 1")
+			}
+
+			// Restart from the damaged image: every acked mutation
+			// recovers. A torn or unwritten frame truncates cleanly;
+			// an fsync-failed frame that still reached the disk may
+			// replay as one extra (unacked) step — allowed, since only
+			// acked-data loss violates the contract.
+			ffs.SetPlan(wal.FaultPlan{})
+			liveImg := registryImage(rg)
+			img := innerSnapshot(t, ffs)
+			rec := NewRegistry(recoveryConfig())
+			if _, err := rec.AttachWAL(walDir, wal.Options{FS: wal.NewMemFSFrom(img)}, 1024); err != nil {
+				t.Fatalf("recovery after %s: %v", name, err)
+			}
+			defer rec.CloseAll()
+			recImg := registryImage(rec)
+			for tn, ws := range liveImg {
+				gs, ok := recImg[tn]
+				if !ok {
+					t.Fatalf("recovery after %s lost tenant %q", name, tn)
+				}
+				for sn, wi := range ws {
+					gi, ok := gs[sn]
+					if !ok {
+						t.Fatalf("recovery after %s lost state %q/%q", name, tn, sn)
+					}
+					switch gi.version {
+					case wi.version:
+						if gi.opinions != wi.opinions {
+							t.Fatalf("recovery after %s: state %q/%q opinions diverge at version %d",
+								name, tn, sn, wi.version)
+						}
+					case wi.version + 1:
+						// The failed-but-written record replayed; fine.
+					default:
+						t.Fatalf("recovery after %s: state %q/%q version %d, want %d or %d",
+							name, tn, sn, gi.version, wi.version, wi.version+1)
+					}
+				}
+			}
+		})
+	}
+}
+
+// innerSnapshot exposes the MemFS image beneath a FaultFS.
+func innerSnapshot(t *testing.T, ffs *wal.FaultFS) map[string][]byte {
+	t.Helper()
+	mfs, ok := ffs.Inner().(*wal.MemFS)
+	if !ok {
+		t.Fatal("fault fs is not over a MemFS")
+	}
+	return mfs.Snapshot()
+}
+
+// TestServePanicRecovery injects a handler panic and asserts the
+// middleware answers 500, counts it, and leaves the server healthy.
+func TestServePanicRecovery(t *testing.T) {
+	c, srv := newTestServer(t, Config{}, time.Minute)
+	srv.testHook = func(r *http.Request) {
+		if r.Header.Get("X-Test-Panic") != "" {
+			panic("injected test panic")
+		}
+	}
+	if code, _ := c.do("GET", "/v1/tenants", map[string]string{"X-Test-Panic": "1"}, nil, nil); code != http.StatusInternalServerError {
+		t.Fatalf("panicking request: got %d, want 500", code)
+	}
+	// The process survived: ordinary requests keep working.
+	var tl TenantList
+	c.must("GET", "/v1/tenants", nil, &tl)
+	if _, body := fetch(t, c, "/metrics"); !strings.Contains(body, "snd_panics_total 1") {
+		t.Fatal("metrics missing snd_panics_total 1")
+	}
+	if _, body := fetch(t, c, "/metrics"); !strings.Contains(body, `snd_http_requests_total{route="panic",code="500"} 1`) {
+		t.Fatal("metrics missing the panic route observation:\n" + body)
+	}
+}
+
+// TestServeReadyz walks the readiness gate: not-ready 503s /readyz and
+// every /v1 route (sentinel NotReady) while /healthz stays green.
+func TestServeReadyz(t *testing.T) {
+	c, srv := newTestServer(t, Config{}, time.Minute)
+	if code, _ := fetch(t, c, "/readyz"); code != 200 {
+		t.Fatalf("readyz at boot: %d", code)
+	}
+	srv.SetReady(false)
+	if code, body := fetch(t, c, "/readyz"); code != 503 || !strings.Contains(body, "starting") {
+		t.Fatalf("readyz while not ready: %d %q", code, body)
+	}
+	if code, _ := fetch(t, c, "/healthz"); code != 200 {
+		t.Fatalf("healthz while not ready: %d", code)
+	}
+	code, e := c.do("GET", "/v1/tenants", nil, nil, nil)
+	if code != http.StatusServiceUnavailable || e.Sentinel != "NotReady" {
+		t.Fatalf("v1 while not ready: %d %q", code, e.Sentinel)
+	}
+	srv.SetReady(true)
+	var tl TenantList
+	c.must("GET", "/v1/tenants", nil, &tl)
+}
+
+// TestServeDegradedSentinel pins the error mapping of the new
+// sentinels.
+func TestServeDegradedSentinel(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		code int
+		name string
+	}{
+		{ErrDegraded, 503, "Degraded"},
+		{ErrNotReady, 503, "NotReady"},
+	} {
+		if got := statusFor(tc.err); got != tc.code {
+			t.Fatalf("statusFor(%v) = %d, want %d", tc.err, got, tc.code)
+		}
+		if got := sentinelName(tc.err); got != tc.name {
+			t.Fatalf("sentinelName(%v) = %q, want %q", tc.err, got, tc.name)
+		}
+		if !errors.Is(tc.err, tc.err) {
+			t.Fatal("sentinel identity")
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"snd"
+	"snd/internal/wal"
+)
+
+// The durability layer makes acked mutations survive a crash. Every
+// registry mutation — tenant create/delete, state put/drop, step —
+// appends one walEvent to a write-ahead log BEFORE it becomes visible
+// in memory, so a response the client saw is always backed by a
+// durable record. On restart AttachWAL rebuilds the registry from the
+// newest snapshot plus the log tail; replay drives the same code paths
+// as live traffic (ApplyFrom for steps — StepFrom is ApplyFrom plus a
+// distance evaluation, so the state advance is bit-identical without
+// recomputing distances).
+//
+// Lock protocol. A mutation validates and computes everything first,
+// then under ckptMu.RLock: checks degraded, appends the record, and
+// commits to memory — an infallible store. Checkpoint holds ckptMu
+// (write side) across the segment rotation and the in-memory capture,
+// so the snapshot state matches the rotation point exactly: a record
+// is either committed before capture (in the snapshot) or appended
+// after rotation (in the new segment, replayed on top). Lock order is
+// ts.mu ≺ ckptMu ≺ rg.mu ≺ t.mu; the capture never takes ts.mu (state
+// snapshots are atomic pointers), so steppers holding ts.mu across a
+// batch never deadlock a checkpoint.
+//
+// A write or sync failure is sticky in the log (wal.ErrFailed) and
+// flips the registry into degraded read-only mode: mutations return
+// ErrDegraded (503) while queries keep serving from memory — the
+// service never crashes on a full or failing disk.
+
+// Event types of the logged mutations.
+const (
+	evTenantCreate = "tenant_create"
+	evTenantDelete = "tenant_delete"
+	evStatePut     = "state_put"
+	evStateDrop    = "state_drop"
+	evStep         = "step"
+)
+
+// walEvent is one logged mutation; the set fields depend on Type.
+type walEvent struct {
+	Type   string `json:"type"`
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state,omitempty"`
+	// Create is the full tenant spec (tenant_create); replay rebuilds
+	// the graph from it (scale-free generation is seed-deterministic,
+	// edge lists are stored verbatim).
+	Create *CreateTenantRequest `json:"create,omitempty"`
+	// Opinions is the full vector of a state_put.
+	Opinions []int8 `json:"opinions,omitempty"`
+	// Deltas are the applied deltas of a step — only the prefix that
+	// succeeded live, so replay never hits a rejected delta.
+	Deltas []Delta `json:"deltas,omitempty"`
+}
+
+// walSnapshot is a checkpoint's payload: the full registry image.
+type walSnapshot struct {
+	Tenants []walTenant `json:"tenants"`
+}
+
+type walTenant struct {
+	Create CreateTenantRequest `json:"create"`
+	States []walState          `json:"states"`
+}
+
+type walState struct {
+	Name     string `json:"name"`
+	Version  uint64 `json:"version"`
+	Opinions []int8 `json:"opinions"`
+}
+
+// RecoveryInfo reports what AttachWAL rebuilt.
+type RecoveryInfo struct {
+	// SnapshotLSN is the last LSN the restored snapshot covered (0
+	// when recovery started from an empty or snapshot-less log).
+	SnapshotLSN uint64
+	// ReplayedRecords counts log records applied on top of the
+	// snapshot.
+	ReplayedRecords int
+	// TruncatedBytes counts bytes of torn or corrupt log tail dropped
+	// during recovery (non-strict mode).
+	TruncatedBytes int64
+	// DroppedSnapshots counts unreadable snapshots skipped over.
+	DroppedSnapshots int
+	// Tenants and States count the rebuilt registry.
+	Tenants int
+	States  int
+}
+
+// durability is the registry's WAL attachment.
+type durability struct {
+	log             *wal.Log
+	checkpointEvery int64
+
+	// ckptMu fences mutations (read side, held across append+commit)
+	// against checkpoint capture (write side, held across rotation and
+	// capture).
+	ckptMu sync.RWMutex
+
+	degraded atomic.Bool
+	reasonMu sync.Mutex
+	reason   string
+
+	records     atomic.Int64 // appended since boot
+	checkpoints atomic.Int64
+	ckptRunning atomic.Bool
+
+	recovery RecoveryInfo
+}
+
+// degrade flips the sticky read-only mode, recording the first cause.
+func (d *durability) degrade(cause error) {
+	if d.degraded.CompareAndSwap(false, true) {
+		d.reasonMu.Lock()
+		d.reason = cause.Error()
+		d.reasonMu.Unlock()
+		log.Printf("serve: WAL failure, degrading to read-only: %v", cause)
+	}
+}
+
+// append encodes and appends ev. The caller holds d.ckptMu.RLock and
+// has already checked degraded; an append failure degrades the server
+// and returns ErrDegraded.
+func (d *durability) append(ev walEvent) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("encoding wal event: %w", err)
+	}
+	if _, err := d.log.Append(payload); err != nil {
+		d.degrade(err)
+		return fmt.Errorf("wal append failed, server is read-only (%v): %w", err, ErrDegraded)
+	}
+	d.records.Add(1)
+	return nil
+}
+
+// mutate durably commits one mutation: with a WAL attached it appends
+// ev and then runs commit (the in-memory store) under the checkpoint
+// read fence. commit must be infallible — all validation happens
+// before mutate. Without a WAL it just commits.
+func (rg *Registry) mutate(ev walEvent, commit func()) error {
+	d := rg.dur.Load()
+	if d == nil {
+		commit()
+		return nil
+	}
+	d.ckptMu.RLock()
+	if d.degraded.Load() {
+		d.ckptMu.RUnlock()
+		return fmt.Errorf("write-ahead log failed, ingest is read-only: %w", ErrDegraded)
+	}
+	err := d.append(ev)
+	if err == nil {
+		commit()
+	}
+	d.ckptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	rg.maybeCheckpoint()
+	return nil
+}
+
+// Degraded reports whether the WAL failed and the server is read-only.
+func (rg *Registry) Degraded() bool {
+	d := rg.dur.Load()
+	return d != nil && d.degraded.Load()
+}
+
+// DegradedReason returns the first WAL failure's message ("" while
+// healthy or without a WAL).
+func (rg *Registry) DegradedReason() string {
+	d := rg.dur.Load()
+	if d == nil || !d.degraded.Load() {
+		return ""
+	}
+	d.reasonMu.Lock()
+	defer d.reasonMu.Unlock()
+	return d.reason
+}
+
+// AttachWAL opens (or creates) the write-ahead log in dir, rebuilds
+// the registry from the newest snapshot plus the log tail, and arms
+// durable logging for every subsequent mutation. It must run on an
+// empty registry before serving starts. checkpointEvery bounds the
+// records accumulated in segments before a snapshot checkpoint
+// compacts them (<= 0 selects 1024).
+func (rg *Registry) AttachWAL(dir string, opts wal.Options, checkpointEvery int) (RecoveryInfo, error) {
+	rg.mu.RLock()
+	populated := len(rg.tenants) > 0
+	rg.mu.RUnlock()
+	if populated || rg.dur.Load() != nil {
+		return RecoveryInfo{}, fmt.Errorf("serve: AttachWAL needs an empty registry")
+	}
+	wlog, rec, err := wal.Open(dir, opts)
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	info := RecoveryInfo{
+		SnapshotLSN:      rec.SnapshotLSN,
+		ReplayedRecords:  len(rec.Records),
+		TruncatedBytes:   rec.TruncatedBytes,
+		DroppedSnapshots: rec.DroppedSnapshots,
+	}
+	// rg.dur is still nil: the replay below drives the ordinary
+	// mutation paths, which commit straight to memory without logging.
+	if rec.SnapshotPayload != nil {
+		var snap walSnapshot
+		if err := json.Unmarshal(rec.SnapshotPayload, &snap); err != nil {
+			wlog.Close()
+			return info, fmt.Errorf("serve: decoding wal snapshot: %w", err)
+		}
+		if err := rg.restoreSnapshot(snap); err != nil {
+			wlog.Close()
+			rg.CloseAll()
+			return info, err
+		}
+	}
+	for _, r := range rec.Records {
+		var ev walEvent
+		if err := json.Unmarshal(r.Payload, &ev); err != nil {
+			// An acked record that does not decode would mean we wrote
+			// garbage; CRC already passed, so treat it as fatal rather
+			// than silently skipping an acked mutation.
+			wlog.Close()
+			rg.CloseAll()
+			return info, fmt.Errorf("serve: decoding wal record lsn %d: %w", r.LSN, err)
+		}
+		rg.applyEvent(ev)
+	}
+	for _, ti := range rg.List() {
+		info.Tenants++
+		info.States += ti.States
+	}
+	if checkpointEvery <= 0 {
+		checkpointEvery = 1024
+	}
+	d := &durability{log: wlog, checkpointEvery: int64(checkpointEvery), recovery: info}
+	rg.dur.Store(d)
+	return info, nil
+}
+
+// restoreSnapshot rebuilds tenants and states from a checkpoint image.
+func (rg *Registry) restoreSnapshot(snap walSnapshot) error {
+	for _, wt := range snap.Tenants {
+		t, err := rg.Create(wt.Create)
+		if err != nil {
+			return fmt.Errorf("serve: restoring tenant %q: %w", wt.Create.Name, err)
+		}
+		for _, ws := range wt.States {
+			st := make(snd.State, len(ws.Opinions))
+			for i, o := range ws.Opinions {
+				st[i] = snd.Opinion(o)
+			}
+			// Register lineage with the provider exactly as putState
+			// does, then install at the recorded version.
+			if _, err := t.net.ApplyFrom(st, nil); err != nil {
+				return fmt.Errorf("serve: restoring state %q/%q: %w", wt.Create.Name, ws.Name, err)
+			}
+			ts := &trackedState{}
+			ts.snap.Store(&stateSnap{st: st, version: ws.Version})
+			t.mu.Lock()
+			t.states[ws.Name] = ts
+			t.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// applyEvent replays one logged mutation. Replay is lenient and
+// idempotent: a create of an existing tenant, a delete of a missing
+// one, or a step on a dropped state are skipped — they arise when a
+// crash landed between an append and a later checkpoint, and the
+// surviving suffix re-applies cleanly.
+func (rg *Registry) applyEvent(ev walEvent) {
+	switch ev.Type {
+	case evTenantCreate:
+		if ev.Create != nil {
+			_, _ = rg.Create(*ev.Create)
+		}
+	case evTenantDelete:
+		_ = rg.Delete(ev.Tenant)
+	case evStatePut:
+		if t, err := rg.Get(ev.Tenant); err == nil {
+			_, _ = t.putState(ev.State, ev.Opinions)
+		}
+	case evStateDrop:
+		if t, err := rg.Get(ev.Tenant); err == nil {
+			_ = t.dropState(ev.State)
+		}
+	case evStep:
+		if t, err := rg.Get(ev.Tenant); err == nil {
+			// ApplyOnly advances the state bit-identically to the live
+			// StepFrom path without recomputing distances.
+			_, _ = t.step(context.Background(), ev.State, StepRequest{Deltas: ev.Deltas, ApplyOnly: true})
+		}
+	}
+}
+
+// maybeCheckpoint triggers a checkpoint once the segments accumulate
+// checkpointEvery records; a CAS keeps at most one in flight.
+func (rg *Registry) maybeCheckpoint() {
+	d := rg.dur.Load()
+	if d == nil || d.degraded.Load() {
+		return
+	}
+	if d.log.SegmentRecords() < d.checkpointEvery {
+		return
+	}
+	rg.checkpoint()
+}
+
+// checkpoint rotates the log, captures the registry image under the
+// write fence, and commits it as a snapshot. Mutations pause only for
+// the rotation and the in-memory capture; the snapshot write and the
+// compaction run concurrently with new appends.
+func (rg *Registry) checkpoint() {
+	d := rg.dur.Load()
+	if d == nil {
+		return
+	}
+	if !d.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	defer d.ckptRunning.Store(false)
+	d.ckptMu.Lock()
+	ck, err := d.log.StartCheckpoint()
+	if err != nil {
+		d.ckptMu.Unlock()
+		d.degrade(err)
+		return
+	}
+	snap := rg.captureSnapshot()
+	d.ckptMu.Unlock()
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return
+	}
+	if err := ck.Commit(payload); err != nil {
+		d.degrade(err)
+		return
+	}
+	d.checkpoints.Add(1)
+}
+
+// captureSnapshot copies the registry image. The caller holds
+// d.ckptMu (write side), so no mutation is mid-commit; state snapshots
+// load lock-free off their atomic pointers.
+func (rg *Registry) captureSnapshot() walSnapshot {
+	rg.mu.RLock()
+	tenants := make([]*Tenant, 0, len(rg.tenants))
+	for _, t := range rg.tenants {
+		tenants = append(tenants, t)
+	}
+	rg.mu.RUnlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	snap := walSnapshot{Tenants: make([]walTenant, 0, len(tenants))}
+	for _, t := range tenants {
+		t.mu.RLock()
+		names := make([]string, 0, len(t.states))
+		for name := range t.states {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		wt := walTenant{Create: t.spec, States: make([]walState, 0, len(names))}
+		for _, name := range names {
+			s := t.states[name].snap.Load()
+			if s == nil {
+				continue // placeholder of an in-flight put; its record, if any, lands after the rotation
+			}
+			ops := make([]int8, len(s.st))
+			for i, o := range s.st {
+				ops[i] = int8(o)
+			}
+			wt.States = append(wt.States, walState{Name: name, Version: s.version, Opinions: ops})
+		}
+		t.mu.RUnlock()
+		snap.Tenants = append(snap.Tenants, wt)
+	}
+	return snap
+}
+
+// durMetrics is the /metrics view of the durability layer.
+type durMetrics struct {
+	enabled     bool
+	degraded    bool
+	records     int64
+	checkpoints int64
+	replayed    int
+	truncated   int64
+}
+
+// durStats snapshots the durability counters for /metrics.
+func (rg *Registry) durStats() durMetrics {
+	d := rg.dur.Load()
+	if d == nil {
+		return durMetrics{}
+	}
+	return durMetrics{
+		enabled:     true,
+		degraded:    d.degraded.Load(),
+		records:     d.records.Load(),
+		checkpoints: d.checkpoints.Load(),
+		replayed:    d.recovery.ReplayedRecords,
+		truncated:   d.recovery.TruncatedBytes,
+	}
+}

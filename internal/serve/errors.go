@@ -23,6 +23,13 @@ var (
 	// ErrBadRequest reports a malformed request the library sentinels
 	// do not cover (unknown op, missing graph spec, bad JSON).
 	ErrBadRequest = errors.New("bad request")
+	// ErrDegraded reports a mutation rejected because the write-ahead
+	// log failed and the server degraded to read-only: queries keep
+	// serving from memory, ingest returns 503 until restart.
+	ErrDegraded = errors.New("durability degraded, read-only")
+	// ErrNotReady reports a request arriving before WAL replay
+	// finished; clients should poll /readyz and retry.
+	ErrNotReady = errors.New("server not ready")
 )
 
 // statusFor maps an error onto the HTTP status the structured-error
@@ -46,6 +53,8 @@ func statusFor(err error) int {
 		return http.StatusConflict // 409
 	case errors.Is(err, ErrAdmission):
 		return http.StatusTooManyRequests // 429
+	case errors.Is(err, ErrDegraded), errors.Is(err, ErrNotReady):
+		return http.StatusServiceUnavailable // 503: retryable server state
 	case errors.Is(err, snd.ErrEngineClosed):
 		return http.StatusGone // 410: tenant deleted mid-flight
 	case errors.Is(err, snd.ErrStateSize),
@@ -77,6 +86,10 @@ func sentinelName(err error) string {
 		return "Exists"
 	case errors.Is(err, ErrAdmission):
 		return "Admission"
+	case errors.Is(err, ErrDegraded):
+		return "Degraded"
+	case errors.Is(err, ErrNotReady):
+		return "NotReady"
 	case errors.Is(err, snd.ErrEngineClosed):
 		return "ErrEngineClosed"
 	// ErrDeltaIndex wraps ErrStateSize or ErrInvalidOpinion too, so

@@ -27,6 +27,7 @@ type metrics struct {
 	requests  map[reqKey]uint64
 	latencies map[string]*histogram
 	rejected  map[string]uint64 // admission scope -> sheds
+	panics    uint64            // handler panics contained by the middleware
 }
 
 type reqKey struct {
@@ -73,6 +74,13 @@ func (m *metrics) observe(route string, code int, d time.Duration) {
 func (m *metrics) shed(scope string) {
 	m.mu.Lock()
 	m.rejected[scope]++
+	m.mu.Unlock()
+}
+
+// panicked records one contained handler panic.
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	m.panics++
 	m.mu.Unlock()
 }
 
@@ -126,6 +134,40 @@ func (m *metrics) render(w io.Writer) {
 	for _, s := range scopes {
 		fmt.Fprintf(w, "snd_admission_rejected_total{scope=%q} %d\n", s, m.rejected[s])
 	}
+
+	fmt.Fprintln(w, "# HELP snd_panics_total Handler panics contained by the recovery middleware.")
+	fmt.Fprintln(w, "# TYPE snd_panics_total counter")
+	fmt.Fprintf(w, "snd_panics_total %d\n", m.panics)
+}
+
+// renderDurability writes the WAL/degradation families. All gauges
+// and counters are emitted even without a WAL (enabled 0), so
+// dashboards need no existence checks.
+func renderDurability(w io.Writer, d durMetrics) {
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintln(w, "# HELP snd_wal_enabled Whether a write-ahead log is attached.")
+	fmt.Fprintln(w, "# TYPE snd_wal_enabled gauge")
+	fmt.Fprintf(w, "snd_wal_enabled %d\n", b2i(d.enabled))
+	fmt.Fprintln(w, "# HELP snd_degraded Whether the WAL failed and the server is read-only.")
+	fmt.Fprintln(w, "# TYPE snd_degraded gauge")
+	fmt.Fprintf(w, "snd_degraded %d\n", b2i(d.degraded))
+	fmt.Fprintln(w, "# HELP snd_wal_records_total Mutation records appended since boot.")
+	fmt.Fprintln(w, "# TYPE snd_wal_records_total counter")
+	fmt.Fprintf(w, "snd_wal_records_total %d\n", d.records)
+	fmt.Fprintln(w, "# HELP snd_wal_checkpoints_total Snapshot checkpoints committed since boot.")
+	fmt.Fprintln(w, "# TYPE snd_wal_checkpoints_total counter")
+	fmt.Fprintf(w, "snd_wal_checkpoints_total %d\n", d.checkpoints)
+	fmt.Fprintln(w, "# HELP snd_wal_replayed_records Log records replayed at boot.")
+	fmt.Fprintln(w, "# TYPE snd_wal_replayed_records gauge")
+	fmt.Fprintf(w, "snd_wal_replayed_records %d\n", d.replayed)
+	fmt.Fprintln(w, "# HELP snd_wal_recovery_truncated_bytes Corrupt tail bytes dropped at boot recovery.")
+	fmt.Fprintln(w, "# TYPE snd_wal_recovery_truncated_bytes gauge")
+	fmt.Fprintf(w, "snd_wal_recovery_truncated_bytes %d\n", d.truncated)
 }
 
 // renderTenants writes the per-tenant engine families: phase seconds,

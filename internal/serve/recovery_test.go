@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"snd/internal/wal"
+)
+
+const walDir = "/data"
+
+// testConfig is the small registry config the recovery tests share.
+func recoveryConfig() Config {
+	return Config{TenantInFlight: 8, GlobalInFlight: 32, MaxTenants: 8}
+}
+
+// tenantSpec builds a tiny deterministic scale-free tenant.
+func tenantSpec(name string, seed int64) CreateTenantRequest {
+	return CreateTenantRequest{
+		Name:    name,
+		Graph:   GraphSpec{ScaleFree: &ScaleFreeSpec{N: 24, OutDeg: 3, Exponent: 2.5, Seed: seed}},
+		Workers: 2,
+	}
+}
+
+// randOpinions draws a full opinion vector.
+func randOpinions(rng *rand.Rand, n int) []int8 {
+	ops := make([]int8, n)
+	for i := range ops {
+		ops[i] = int8(rng.Intn(3) - 1)
+	}
+	return ops
+}
+
+// randDeltas draws a step batch of valid sparse deltas.
+func randDeltas(rng *rand.Rand, n int) []Delta {
+	batch := make([]Delta, 1+rng.Intn(3))
+	for i := range batch {
+		d := make(Delta, 1+rng.Intn(3))
+		for j := range d {
+			d[j] = Change{User: rng.Intn(n), Opinion: int8(rng.Intn(3) - 1)}
+		}
+		batch[i] = d
+	}
+	return batch
+}
+
+// driveRandomOps applies count random acked mutations to rg, returning
+// the event oplog in append order. Every issued op is valid, so each
+// acked op corresponds to exactly one WAL record: oplog[i] has LSN
+// i+1. Single-goroutine by design — the oplog order must match the
+// log's.
+func driveRandomOps(t *testing.T, rg *Registry, rng *rand.Rand, count int) []walEvent {
+	t.Helper()
+	var oplog []walEvent
+	stateNames := []string{"sa", "sb", "sc", "sd"}
+	users := func(tn string) int {
+		tt, err := rg.Get(tn)
+		if err != nil {
+			t.Fatalf("users(%s): %v", tn, err)
+		}
+		return tt.users
+	}
+	liveStates := func(tn string) []string {
+		tt, err := rg.Get(tn)
+		if err != nil {
+			return nil
+		}
+		var names []string
+		for _, si := range tt.listStates() {
+			names = append(names, si.Name)
+		}
+		return names
+	}
+	for len(oplog) < count {
+		tenants := rg.List()
+		roll := rng.Float64()
+		switch {
+		case len(tenants) == 0 || (roll < 0.04 && len(tenants) < 2):
+			name := "t" + strconv.Itoa(len(oplog))
+			spec := tenantSpec(name, int64(len(oplog))*7+1)
+			if _, err := rg.Create(spec); err != nil {
+				t.Fatalf("create %s: %v", name, err)
+			}
+			oplog = append(oplog, walEvent{Type: evTenantCreate, Tenant: name, Create: &spec})
+		case roll < 0.30:
+			tn := tenants[rng.Intn(len(tenants))].Name
+			sn := stateNames[rng.Intn(len(stateNames))]
+			ops := randOpinions(rng, users(tn))
+			tt, _ := rg.Get(tn)
+			if _, err := tt.putState(sn, ops); err != nil {
+				t.Fatalf("put %s/%s: %v", tn, sn, err)
+			}
+			oplog = append(oplog, walEvent{Type: evStatePut, Tenant: tn, State: sn, Opinions: ops})
+		case roll < 0.36:
+			tn := tenants[rng.Intn(len(tenants))].Name
+			if names := liveStates(tn); len(names) > 0 {
+				sn := names[rng.Intn(len(names))]
+				tt, _ := rg.Get(tn)
+				if err := tt.dropState(sn); err != nil {
+					t.Fatalf("drop %s/%s: %v", tn, sn, err)
+				}
+				oplog = append(oplog, walEvent{Type: evStateDrop, Tenant: tn, State: sn})
+			}
+		case roll < 0.38 && len(tenants) > 1:
+			tn := tenants[rng.Intn(len(tenants))].Name
+			if err := rg.Delete(tn); err != nil {
+				t.Fatalf("delete %s: %v", tn, err)
+			}
+			oplog = append(oplog, walEvent{Type: evTenantDelete, Tenant: tn})
+		default:
+			tn := tenants[rng.Intn(len(tenants))].Name
+			names := liveStates(tn)
+			if len(names) == 0 {
+				continue
+			}
+			sn := names[rng.Intn(len(names))]
+			deltas := randDeltas(rng, users(tn))
+			// Mostly apply-only (the state advance is what recovery
+			// must preserve); some full steps keep the distance path in
+			// the loop.
+			applyOnly := rng.Float64() < 0.8
+			tt, _ := rg.Get(tn)
+			if _, err := tt.step(context.Background(), sn, StepRequest{Deltas: deltas, ApplyOnly: applyOnly}); err != nil {
+				t.Fatalf("step %s/%s: %v", tn, sn, err)
+			}
+			oplog = append(oplog, walEvent{Type: evStep, Tenant: tn, State: sn, Deltas: deltas})
+		}
+	}
+	return oplog
+}
+
+// stateImage is one tracked state's comparable image.
+type stateImage struct {
+	version  uint64
+	opinions string // the opinion vector, rendered byte-for-byte
+}
+
+// registryImage snapshots tenant -> state -> image for comparison.
+func registryImage(rg *Registry) map[string]map[string]stateImage {
+	img := make(map[string]map[string]stateImage)
+	for _, ti := range rg.List() {
+		t, err := rg.Get(ti.Name)
+		if err != nil {
+			continue
+		}
+		states := make(map[string]stateImage)
+		for _, si := range t.listStates() {
+			ts, err := t.state(si.Name)
+			if err != nil {
+				continue
+			}
+			st, v := ts.snapshot()
+			var sb strings.Builder
+			for _, o := range st {
+				fmt.Fprintf(&sb, "%d,", int8(o))
+			}
+			states[si.Name] = stateImage{version: v, opinions: sb.String()}
+		}
+		img[ti.Name] = states
+	}
+	return img
+}
+
+// diffImages reports the first mismatch between two registry images.
+func diffImages(want, got map[string]map[string]stateImage) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("tenant count: want %d, got %d", len(want), len(got))
+	}
+	for tn, ws := range want {
+		gs, ok := got[tn]
+		if !ok {
+			return fmt.Sprintf("tenant %q missing", tn)
+		}
+		if len(ws) != len(gs) {
+			return fmt.Sprintf("tenant %q state count: want %d, got %d", tn, len(ws), len(gs))
+		}
+		for sn, wi := range ws {
+			gi, ok := gs[sn]
+			if !ok {
+				return fmt.Sprintf("state %q/%q missing", tn, sn)
+			}
+			if wi.version != gi.version {
+				return fmt.Sprintf("state %q/%q version: want %d, got %d", tn, sn, wi.version, gi.version)
+			}
+			if wi.opinions != gi.opinions {
+				return fmt.Sprintf("state %q/%q opinions differ", tn, sn)
+			}
+		}
+	}
+	return ""
+}
+
+// activeSegment finds the active (greatest-first-LSN) segment in a
+// MemFS image and returns its path and first LSN.
+func activeSegment(t *testing.T, img map[string][]byte) (string, uint64) {
+	t.Helper()
+	best, bestLSN, found := "", uint64(0), false
+	for path := range img {
+		base := path[strings.LastIndex(path, "/")+1:]
+		if !strings.HasPrefix(base, "wal-") || !strings.HasSuffix(base, ".log") {
+			continue
+		}
+		lsn, err := strconv.ParseUint(base[4:20], 16, 64)
+		if err != nil {
+			t.Fatalf("parsing segment name %q: %v", base, err)
+		}
+		if !found || lsn > bestLSN {
+			best, bestLSN, found = path, lsn, true
+		}
+	}
+	if !found {
+		t.Fatal("no active segment in image")
+	}
+	return best, bestLSN
+}
+
+// TestServeCrashRecoveryProperty is the crash-recovery property suite:
+// for many seeds it drives a random mutation history against a
+// WAL-attached registry, "kills" the process by cutting the active
+// segment at a random byte offset, recovers a fresh registry from the
+// mutilated image, and asserts the recovered tracked states are
+// bit-identical to a shadow registry built from exactly the surviving
+// acked prefix of the oplog. No acked record below the cut is ever
+// lost; everything above it is cleanly truncated.
+func TestServeCrashRecoveryProperty(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 13))
+			fs := wal.NewMemFS()
+			rg := NewRegistry(recoveryConfig())
+			// A small checkpoint interval exercises compaction inside
+			// almost every history.
+			if _, err := rg.AttachWAL(walDir, wal.Options{FS: fs}, 8+rng.Intn(8)); err != nil {
+				t.Fatalf("AttachWAL: %v", err)
+			}
+			oplog := driveRandomOps(t, rg, rng, 20+rng.Intn(15))
+			liveImg := registryImage(rg)
+			img := fs.Snapshot()
+			rg.CloseAll()
+
+			// Cut the active segment at a random byte offset — the torn
+			// tail a kill -9 mid-write leaves behind.
+			segPath, segFirst := activeSegment(t, img)
+			segBytes := img[segPath]
+			cut := rng.Intn(len(segBytes) + 1)
+			recs, _, _ := wal.DecodeRecords(segBytes[:cut])
+			survive := int(segFirst) - 1 + len(recs)
+			img[segPath] = segBytes[:cut]
+
+			// Recover from the mutilated image.
+			rec := NewRegistry(recoveryConfig())
+			info, err := rec.AttachWAL(walDir, wal.Options{FS: wal.NewMemFSFrom(img)}, 1024)
+			if err != nil {
+				t.Fatalf("recovering at cut %d/%d: %v", cut, len(segBytes), err)
+			}
+			defer rec.CloseAll()
+
+			// Shadow: replay exactly the surviving acked prefix through
+			// a WAL-less registry.
+			shadow := NewRegistry(recoveryConfig())
+			defer shadow.CloseAll()
+			for _, ev := range oplog[:survive] {
+				shadow.applyEvent(ev)
+			}
+
+			if d := diffImages(registryImage(shadow), registryImage(rec)); d != "" {
+				t.Fatalf("seed %d cut %d (%d/%d records survive): recovered registry diverges from shadow: %s",
+					seed, cut, survive, len(oplog), d)
+			}
+			// A full-length cut loses nothing: recovery must reproduce
+			// the live pre-crash image exactly.
+			if cut == len(segBytes) {
+				if d := diffImages(liveImg, registryImage(rec)); d != "" {
+					t.Fatalf("seed %d full-length cut: recovered registry diverges from live: %s", seed, d)
+				}
+			}
+			if info.ReplayedRecords > survive {
+				t.Fatalf("replayed %d records, only %d survived the cut", info.ReplayedRecords, survive)
+			}
+
+			// The recovered engines answer queries identically to the
+			// shadow's: same distance on the same pinned states.
+			for _, ti := range rec.List() {
+				rt, _ := rec.Get(ti.Name)
+				states := rt.listStates()
+				if len(states) < 2 {
+					continue
+				}
+				a, b := states[0].Name, states[1].Name
+				pr, _, err := rt.pin([]string{a, b})
+				if err != nil {
+					t.Fatalf("pin recovered %s: %v", ti.Name, err)
+				}
+				st, _ := shadow.Get(ti.Name)
+				ps, _, err := st.pin([]string{a, b})
+				if err != nil {
+					t.Fatalf("pin shadow %s: %v", ti.Name, err)
+				}
+				rres, err := rt.net.DistanceEps(context.Background(), pr[0], pr[1], 0)
+				if err != nil {
+					t.Fatalf("recovered distance: %v", err)
+				}
+				sres, err := st.net.DistanceEps(context.Background(), ps[0], ps[1], 0)
+				if err != nil {
+					t.Fatalf("shadow distance: %v", err)
+				}
+				if rres.SND != sres.SND {
+					t.Fatalf("tenant %s distance(%s,%s): recovered %v, shadow %v",
+						ti.Name, a, b, rres.SND, sres.SND)
+				}
+				break
+			}
+
+			// The log reopened for appending: one more acked mutation
+			// must work on the recovered registry.
+			if len(rec.List()) > 0 {
+				tn := rec.List()[0].Name
+				rt, _ := rec.Get(tn)
+				if _, err := rt.putState("post", randOpinions(rng, rt.users)); err != nil {
+					t.Fatalf("post-recovery put: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestServeWALRestartGraceful drives traffic, shuts down cleanly, and
+// recovers: a graceful shutdown checkpoint must preserve every state
+// (and must NOT log tenant deletes — shutdown is not deletion).
+func TestServeWALRestartGraceful(t *testing.T) {
+	fs := wal.NewMemFS()
+	rng := rand.New(rand.NewSource(42))
+	rg := NewRegistry(recoveryConfig())
+	if _, err := rg.AttachWAL(walDir, wal.Options{FS: fs}, 16); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	driveRandomOps(t, rg, rng, 30)
+	want := registryImage(rg)
+	rg.CloseAll()
+
+	rec := NewRegistry(recoveryConfig())
+	info, err := rec.AttachWAL(walDir, wal.Options{FS: fs}, 16)
+	if err != nil {
+		t.Fatalf("re-AttachWAL: %v", err)
+	}
+	defer rec.CloseAll()
+	if d := diffImages(want, registryImage(rec)); d != "" {
+		t.Fatalf("graceful restart diverges: %s", d)
+	}
+	// The shutdown checkpoint compacts: replay should be snapshot-only.
+	if info.ReplayedRecords != 0 {
+		t.Fatalf("graceful restart replayed %d records, want 0 (snapshot covers all)", info.ReplayedRecords)
+	}
+	if info.Tenants == 0 {
+		t.Fatal("graceful restart recovered no tenants")
+	}
+}
+
+// TestServeWALStrictRejectsTornTail verifies strict mode refuses to
+// open a log with a torn tail instead of silently truncating.
+func TestServeWALStrictRejectsTornTail(t *testing.T) {
+	fs := wal.NewMemFS()
+	rg := NewRegistry(recoveryConfig())
+	if _, err := rg.AttachWAL(walDir, wal.Options{FS: fs}, 1024); err != nil {
+		t.Fatalf("AttachWAL: %v", err)
+	}
+	tt, err := rg.Create(tenantSpec("t0", 1))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := tt.putState("sa", make([]int8, tt.users)); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	img := fs.Snapshot()
+	rg.CloseAll()
+	segPath, _ := activeSegment(t, img)
+	img[segPath] = img[segPath][:len(img[segPath])-3]
+
+	rec := NewRegistry(recoveryConfig())
+	if _, err := rec.AttachWAL(walDir, wal.Options{FS: wal.NewMemFSFrom(img), Strict: true}, 1024); err == nil {
+		rec.CloseAll()
+		t.Fatal("strict recovery accepted a torn tail")
+	}
+	// Non-strict accepts, truncates, and reports.
+	rec2 := NewRegistry(recoveryConfig())
+	info, err := rec2.AttachWAL(walDir, wal.Options{FS: wal.NewMemFSFrom(img)}, 1024)
+	if err != nil {
+		t.Fatalf("non-strict recovery: %v", err)
+	}
+	defer rec2.CloseAll()
+	if info.TruncatedBytes == 0 {
+		t.Fatal("non-strict recovery reported no truncation")
+	}
+}

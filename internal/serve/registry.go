@@ -39,22 +39,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// trackedState is one named, versioned state of a tenant. cur is an
+// stateSnap is one immutable (state, version) pair.
+type stateSnap struct {
+	st      snd.State
+	version uint64
+}
+
+// trackedState is one named, versioned state of a tenant. snap is an
 // immutable snapshot replaced wholesale on every advance; readers that
 // captured it keep computing on the pinned version (snapshot
-// isolation). mu serializes writers (steps to the same state), so the
-// version sequence per name is gapless.
+// isolation), and the checkpoint capture loads it lock-free. mu
+// serializes writers (puts and steps to the same state) across their
+// whole append-then-commit sequence, so the version sequence per name
+// is gapless and WAL record order matches commit order. dead (guarded
+// by mu) marks a state removed from the map, so a writer that resolved
+// the pointer before a concurrent drop retries instead of committing
+// into an orphan.
 type trackedState struct {
-	mu      sync.Mutex
-	cur     snd.State
-	version uint64
+	mu   sync.Mutex
+	dead bool
+	snap atomic.Pointer[stateSnap]
 }
 
 // snapshot returns the state's current (immutable) snapshot.
 func (ts *trackedState) snapshot() (snd.State, uint64) {
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	return ts.cur, ts.version
+	s := ts.snap.Load()
+	if s == nil {
+		return nil, 0
+	}
+	return s.st, s.version
 }
 
 // Tenant is one registered graph: an snd.Network handle plus the named
@@ -62,6 +75,8 @@ func (ts *trackedState) snapshot() (snd.State, uint64) {
 // delete waits for them before closing the handle.
 type Tenant struct {
 	name  string
+	reg   *Registry
+	spec  CreateTenantRequest // the create request, kept for WAL snapshots
 	net   *snd.Network
 	users int
 	edges int
@@ -135,7 +150,7 @@ func (t *Tenant) state(name string) (*trackedState, error) {
 }
 
 // putState creates or replaces a named tracked state from a full
-// opinion vector.
+// opinion vector: validate, log, then commit.
 func (t *Tenant) putState(name string, opinions []int8) (uint64, error) {
 	st := make(snd.State, len(opinions))
 	for i, o := range opinions {
@@ -147,29 +162,68 @@ func (t *Tenant) putState(name string, opinions []int8) (uint64, error) {
 	if _, err := t.net.ApplyFrom(st, nil); err != nil {
 		return 0, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	for {
+		t.mu.Lock()
+		ts := t.states[name]
+		created := ts == nil
+		if created {
+			ts = &trackedState{}
+			t.states[name] = ts
+		}
+		t.mu.Unlock()
+		ts.mu.Lock()
+		if ts.dead {
+			ts.mu.Unlock()
+			continue // dropped between lookup and lock; retry on the fresh map
+		}
+		version := uint64(1)
+		if s := ts.snap.Load(); s != nil {
+			version = s.version + 1
+		}
+		ev := walEvent{Type: evStatePut, Tenant: t.name, State: name, Opinions: opinions}
+		err := t.reg.mutate(ev, func() {
+			ts.snap.Store(&stateSnap{st: st, version: version})
+		})
+		if err != nil && created && ts.snap.Load() == nil {
+			// The append failed before the first commit: retire the
+			// placeholder so the unacked state is invisible.
+			ts.dead = true
+			t.mu.Lock()
+			if t.states[name] == ts {
+				delete(t.states, name)
+			}
+			t.mu.Unlock()
+		}
+		ts.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return version, nil
+	}
+}
+
+// dropState removes a named tracked state: log, then commit the
+// removal. The state's writer lock serializes the drop against puts
+// and steps, so WAL record order matches commit order.
+func (t *Tenant) dropState(name string) error {
+	t.mu.RLock()
 	ts := t.states[name]
+	t.mu.RUnlock()
 	if ts == nil {
-		ts = &trackedState{}
-		t.states[name] = ts
+		return fmt.Errorf("tenant %q has no state %q: %w", t.name, name, ErrNotFound)
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	ts.cur = st
-	ts.version++
-	return ts.version, nil
-}
-
-// dropState removes a named tracked state.
-func (t *Tenant) dropState(name string) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.states[name]; !ok {
+	if ts.dead {
 		return fmt.Errorf("tenant %q has no state %q: %w", t.name, name, ErrNotFound)
 	}
-	delete(t.states, name)
-	return nil
+	ev := walEvent{Type: evStateDrop, Tenant: t.name, State: name}
+	return t.reg.mutate(ev, func() {
+		ts.dead = true
+		t.mu.Lock()
+		delete(t.states, name)
+		t.mu.Unlock()
+	})
 }
 
 // listStates snapshots the tenant's tracked states, sorted by name.
@@ -188,6 +242,9 @@ func (t *Tenant) listStates() []StateInfo {
 			continue // dropped since the listing snapshot
 		}
 		st, v := ts.snapshot()
+		if st == nil {
+			continue // placeholder of an in-flight put; not acked yet
+		}
 		out = append(out, StateInfo{Name: name, Version: v, Active: st.ActiveCount()})
 	}
 	return out
@@ -208,41 +265,66 @@ func (t *Tenant) step(ctx context.Context, stateName string, req StepRequest) (S
 	resp := StepResponse{Results: make([]StepResult, 0, len(req.Deltas))}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
-	if ts.cur == nil {
+	if ts.dead {
+		return StepResponse{}, fmt.Errorf("tenant %q has no state %q: %w", t.name, stateName, ErrNotFound)
+	}
+	s := ts.snap.Load()
+	if s == nil || s.st == nil {
 		return StepResponse{}, fmt.Errorf("state %q has no opinions yet: %w", stateName, ErrNotFound)
 	}
+	// Compute the whole chain on locals first; the durable commit then
+	// publishes the applied prefix in one store. The writer lock is held
+	// across compute and commit, so a batch is atomic with respect to
+	// other steppers of the same state; queries are unaffected (they
+	// compute on the snapshots they pinned).
+	cur, version := s.st, s.version
+	applied := 0
+	var stepErr error
 	for i, d := range req.Deltas {
 		delta := make(snd.StateDelta, len(d))
 		for j, ch := range d {
 			delta[j] = snd.OpinionChange{User: ch.User, Opinion: snd.Opinion(ch.Opinion)}
 		}
 		if req.ApplyOnly {
-			next, err := t.net.ApplyFrom(ts.cur, delta)
+			next, err := t.net.ApplyFrom(cur, delta)
 			if err != nil {
-				return StepResponse{}, fmt.Errorf("delta %d: %w", i, err)
+				stepErr = fmt.Errorf("delta %d: %w", i, err)
+				break
 			}
-			ts.cur = next
-			ts.version++
-			resp.Results = append(resp.Results, StepResult{Version: ts.version})
+			cur, version, applied = next, version+1, i+1
+			resp.Results = append(resp.Results, StepResult{Version: version})
 			continue
 		}
-		next, res, err := t.net.StepFrom(ctx, ts.cur, delta)
+		next, res, err := t.net.StepFrom(ctx, cur, delta)
 		if err != nil {
 			// StepFrom returns the advanced state alongside
 			// cancellation-stage errors; dropping it keeps the request
 			// atomic — a failed batch leaves the state where the last
 			// successful delta put it.
-			return StepResponse{}, fmt.Errorf("delta %d: %w", i, err)
+			stepErr = fmt.Errorf("delta %d: %w", i, err)
+			break
 		}
-		ts.cur = next
-		ts.version++
+		cur, version, applied = next, version+1, i+1
 		dist := res.SND
 		resp.Results = append(resp.Results, StepResult{
-			Version: ts.version,
+			Version: version,
 			SND:     &dist,
 			Terms:   res.Terms[:],
 			NDelta:  res.NDelta,
 		})
+	}
+	if applied > 0 {
+		// Log only the applied prefix, so replay never re-hits the
+		// rejected delta and the recovered state lands exactly where
+		// the acked response said it would.
+		ev := walEvent{Type: evStep, Tenant: t.name, State: stateName, Deltas: req.Deltas[:applied]}
+		final := &stateSnap{st: cur, version: version}
+		if err := t.reg.mutate(ev, func() { ts.snap.Store(final) }); err != nil {
+			return StepResponse{}, err
+		}
+	}
+	if stepErr != nil {
+		return StepResponse{}, stepErr
 	}
 	return resp, nil
 }
@@ -277,6 +359,10 @@ type Registry struct {
 	tenants map[string]*Tenant
 
 	global chan struct{}
+
+	// dur is the WAL attachment (nil until AttachWAL); see
+	// durability.go for the commit protocol.
+	dur atomic.Pointer[durability]
 }
 
 // NewRegistry builds an empty registry.
@@ -300,8 +386,17 @@ func validName(name string) error {
 }
 
 // Create registers a tenant: builds the graph, the engine-backed
-// Network handle, and an empty state set.
+// Network handle, and an empty state set. With a WAL attached the
+// create is logged before the tenant becomes visible.
 func (rg *Registry) Create(req CreateTenantRequest) (*Tenant, error) {
+	t, err := rg.create(req)
+	if err == nil {
+		rg.maybeCheckpoint()
+	}
+	return t, err
+}
+
+func (rg *Registry) create(req CreateTenantRequest) (*Tenant, error) {
 	if err := validName(req.Name); err != nil {
 		return nil, err
 	}
@@ -331,6 +426,8 @@ func (rg *Registry) Create(req CreateTenantRequest) (*Tenant, error) {
 	}
 	t := &Tenant{
 		name:  req.Name,
+		reg:   rg,
+		spec:  req,
 		users: g.N(),
 		edges: g.M(),
 		net: snd.NewNetwork(g, opts, snd.EngineConfig{
@@ -341,6 +438,15 @@ func (rg *Registry) Create(req CreateTenantRequest) (*Tenant, error) {
 		states:   make(map[string]*trackedState),
 		inflight: make(chan struct{}, rg.cfg.TenantInFlight),
 	}
+	d := rg.dur.Load()
+	if d != nil {
+		d.ckptMu.RLock()
+		defer d.ckptMu.RUnlock()
+		if d.degraded.Load() {
+			t.net.Close()
+			return nil, fmt.Errorf("write-ahead log failed, ingest is read-only: %w", ErrDegraded)
+		}
+	}
 	rg.mu.Lock()
 	defer rg.mu.Unlock()
 	if _, ok := rg.tenants[req.Name]; ok {
@@ -350,6 +456,12 @@ func (rg *Registry) Create(req CreateTenantRequest) (*Tenant, error) {
 	if len(rg.tenants) >= rg.cfg.MaxTenants {
 		t.net.Close()
 		return nil, fmt.Errorf("registry full (%d tenants): %w", len(rg.tenants), ErrExists)
+	}
+	if d != nil {
+		if err := d.append(walEvent{Type: evTenantCreate, Tenant: req.Name, Create: &req}); err != nil {
+			t.net.Close()
+			return nil, err
+		}
 	}
 	rg.tenants[req.Name] = t
 	return t, nil
@@ -388,22 +500,66 @@ func (rg *Registry) List() []TenantInfo {
 // before the handle closes, so none of them observe ErrEngineClosed
 // through a Delete (only a direct Close storm can).
 func (rg *Registry) Delete(name string) error {
-	rg.mu.Lock()
-	t := rg.tenants[name]
-	delete(rg.tenants, name)
-	rg.mu.Unlock()
-	if t == nil {
-		return fmt.Errorf("tenant %q: %w", name, ErrNotFound)
+	t, err := rg.detach(name)
+	if err != nil {
+		return err
 	}
 	t.closed.Store(true)
 	t.wg.Wait()
-	return t.net.Close()
+	err = t.net.Close()
+	rg.maybeCheckpoint()
+	return err
 }
 
-// CloseAll deletes every tenant (shutdown path).
+// detach logs and removes the tenant from the map; the caller drains
+// and closes it outside every lock.
+func (rg *Registry) detach(name string) (*Tenant, error) {
+	d := rg.dur.Load()
+	if d != nil {
+		d.ckptMu.RLock()
+		defer d.ckptMu.RUnlock()
+		if d.degraded.Load() {
+			return nil, fmt.Errorf("write-ahead log failed, ingest is read-only: %w", ErrDegraded)
+		}
+	}
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	t := rg.tenants[name]
+	if t == nil {
+		return nil, fmt.Errorf("tenant %q: %w", name, ErrNotFound)
+	}
+	if d != nil {
+		if err := d.append(walEvent{Type: evTenantDelete, Tenant: name}); err != nil {
+			return nil, err
+		}
+	}
+	delete(rg.tenants, name)
+	return t, nil
+}
+
+// CloseAll shuts the registry down. With a WAL attached it takes a
+// final checkpoint and closes the log WITHOUT logging deletes — a
+// graceful shutdown must not erase the durable state a restart will
+// recover — then drains and closes every engine.
 func (rg *Registry) CloseAll() {
-	for _, ti := range rg.List() {
-		_ = rg.Delete(ti.Name)
+	if d := rg.dur.Load(); d != nil {
+		rg.checkpoint()
+		_ = d.log.Close()
+		// Late mutators hit the closed log, fail the append, and
+		// surface ErrDegraded; nothing new is acked past the final
+		// checkpoint.
+	}
+	rg.mu.Lock()
+	ts := make([]*Tenant, 0, len(rg.tenants))
+	for _, t := range rg.tenants {
+		ts = append(ts, t)
+	}
+	rg.tenants = make(map[string]*Tenant)
+	rg.mu.Unlock()
+	for _, t := range ts {
+		t.closed.Store(true)
+		t.wg.Wait()
+		_ = t.net.Close()
 	}
 }
 

@@ -4,34 +4,53 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"snd"
 )
 
 // Server is the HTTP front door: routing, per-request deadlines,
-// admission, and metrics around a Registry. It implements
-// http.Handler; hang it off any http.Server.
+// admission, panic containment, and metrics around a Registry. It
+// implements http.Handler; hang it off any http.Server.
 type Server struct {
 	reg *Registry
 	// defaultDeadline bounds every compute request that does not carry
 	// its own X-Snd-Deadline-Ms header; zero means no server-imposed
 	// deadline.
 	defaultDeadline time.Duration
+	// ready gates the /v1 routes: while false (boot-time WAL replay)
+	// they answer 503 ErrNotReady and /readyz reports not-ready.
+	// NewServer starts ready, so embedded and test use needs no extra
+	// step; cmd/sndserve flips it around recovery.
+	ready atomic.Bool
+	// testHook, when set, runs before routing — the panic-injection
+	// point for the recovery-middleware test.
+	testHook func(*http.Request)
 }
 
 // NewServer builds a Server over reg. defaultDeadline caps compute
 // requests without an explicit per-request deadline (0 = none).
 func NewServer(reg *Registry, defaultDeadline time.Duration) *Server {
-	return &Server{reg: reg, defaultDeadline: defaultDeadline}
+	s := &Server{reg: reg, defaultDeadline: defaultDeadline}
+	s.ready.Store(true)
+	return s
 }
 
 // Registry exposes the server's registry (shutdown paths call
 // CloseAll on it).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// SetReady flips the readiness gate (see /readyz).
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the /v1 routes are open.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // requestCtx derives the compute context: the client disconnect
 // already cancels r.Context(); the per-request or default deadline
@@ -50,23 +69,54 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), deadline)
 }
 
-// statusWriter captures the status code for the metrics observation.
+// statusWriter captures the status code for the metrics observation
+// and whether a header (or body) already went out — the panic handler
+// can only write a 500 onto a pristine response.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code        int
+	wroteHeader bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
+	w.wroteHeader = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wroteHeader = true
+	return w.ResponseWriter.Write(b)
 }
 
 // ServeHTTP routes the request and records (route, code, latency).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-	route := s.route(sw, r)
+	route := s.serve(sw, r)
 	s.reg.metrics.observe(route, sw.code, time.Since(start))
+}
+
+// serve is the panic-containment middleware around the router: a
+// handler panic is recovered, counted (snd_panics_total), logged with
+// its stack, and answered with a 500 when the response is still
+// unwritten — one request's bug never takes the process (and every
+// tenant's monitoring) down with it.
+func (s *Server) serve(sw *statusWriter, r *http.Request) (route string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			route = "panic"
+			s.reg.metrics.panicked()
+			log.Printf("serve: panic on %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wroteHeader {
+				writeError(sw, fmt.Errorf("internal error: %v", rec))
+			}
+		}
+	}()
+	if s.testHook != nil {
+		s.testHook(r)
+	}
+	return s.route(sw, r)
 }
 
 // route dispatches by path shape and returns the route label for
@@ -76,12 +126,33 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) string {
 	path := strings.TrimSuffix(r.URL.Path, "/")
 	switch path {
 	case "/healthz":
+		// Liveness only: the process is up and routing. Readiness
+		// (replay done, not degraded) is /readyz.
 		w.Header().Set("Content-Type", "text/plain")
 		fmt.Fprintln(w, "ok")
 		return "healthz"
+	case "/readyz":
+		w.Header().Set("Content-Type", "text/plain")
+		switch {
+		case !s.ready.Load():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "starting: wal replay in progress")
+		case s.reg.Degraded():
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded: "+s.reg.DegradedReason())
+		default:
+			fmt.Fprintln(w, "ok")
+		}
+		return "readyz"
 	case "/metrics":
 		s.handleMetrics(w)
 		return "metrics"
+	}
+	if !s.ready.Load() {
+		writeError(w, fmt.Errorf("wal replay in progress: %w", ErrNotReady))
+		return "notready"
+	}
+	switch path {
 	case "/v1/tenants":
 		switch r.Method {
 		case http.MethodGet:
@@ -137,6 +208,7 @@ func decodeJSON(r *http.Request, v any) error {
 func (s *Server) handleMetrics(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.metrics.render(w)
+	renderDurability(w, s.reg.durStats())
 	renderTenants(w, s.reg.scrape())
 }
 

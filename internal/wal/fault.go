@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"os"
+	"sync"
+)
+
+// FaultPlan scripts an injection: counters are consumed across every
+// file opened through the FaultFS, so "fail the 7th write" means the
+// 7th write issued anywhere on the log. A zero plan injects nothing.
+type FaultPlan struct {
+	// FailWriteAfter > 0 lets that many writes succeed, then every
+	// subsequent write fails with WriteErr. 0 disables write faults.
+	FailWriteAfter int
+	// WriteErr is the error failing writes return (e.g.
+	// syscall.ENOSPC). Defaults to os.ErrInvalid when unset.
+	WriteErr error
+	// ShortWrite makes the first failing write a torn one: half the
+	// buffer reaches the inner file before the error, which is what a
+	// crash mid-write leaves on disk.
+	ShortWrite bool
+	// FailSyncAfter > 0 lets that many syncs succeed, then every
+	// subsequent Sync fails with SyncErr. 0 disables sync faults.
+	FailSyncAfter int
+	// SyncErr is the error failing syncs return. Defaults to
+	// os.ErrInvalid when unset.
+	SyncErr error
+}
+
+// FaultFS wraps an FS and injects write and sync failures per a
+// FaultPlan — the harness behind the torn-write, short-write, ENOSPC,
+// and fsync-error recovery tests. Directory operations pass through
+// untouched; only File.Write and File.Sync consult the plan.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	plan   FaultPlan
+	writes int
+	syncs  int
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// Inner returns the wrapped filesystem (tests inspect the surviving
+// image through it).
+func (fs *FaultFS) Inner() FS { return fs.inner }
+
+// SetPlan arms a new injection plan and resets the operation counters.
+func (fs *FaultFS) SetPlan(plan FaultPlan) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.plan = plan
+	fs.writes, fs.syncs = 0, 0
+}
+
+// checkWrite consults the plan for one write of n bytes, returning how
+// many bytes to pass through and the error to report.
+func (fs *FaultFS) checkWrite(n int) (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writes++
+	if fs.plan.FailWriteAfter <= 0 || fs.writes <= fs.plan.FailWriteAfter {
+		return n, nil
+	}
+	err := fs.plan.WriteErr
+	if err == nil {
+		err = os.ErrInvalid
+	}
+	if fs.plan.ShortWrite && fs.writes == fs.plan.FailWriteAfter+1 {
+		return n / 2, err
+	}
+	return 0, err
+}
+
+// checkSync consults the plan for one sync.
+func (fs *FaultFS) checkSync() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.syncs++
+	if fs.plan.FailSyncAfter <= 0 || fs.syncs <= fs.plan.FailSyncAfter {
+		return nil
+	}
+	if fs.plan.SyncErr != nil {
+		return fs.plan.SyncErr
+	}
+	return os.ErrInvalid
+}
+
+// MkdirAll implements FS.
+func (fs *FaultFS) MkdirAll(dir string, perm os.FileMode) error {
+	return fs.inner.MkdirAll(dir, perm)
+}
+
+// ReadDir implements FS.
+func (fs *FaultFS) ReadDir(dir string) ([]string, error) { return fs.inner.ReadDir(dir) }
+
+// ReadFile implements FS.
+func (fs *FaultFS) ReadFile(name string) ([]byte, error) { return fs.inner.ReadFile(name) }
+
+// Create implements FS.
+func (fs *FaultFS) Create(name string) (File, error) {
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, inner: f}, nil
+}
+
+// OpenAppend implements FS.
+func (fs *FaultFS) OpenAppend(name string) (File, error) {
+	f, err := fs.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: fs, inner: f}, nil
+}
+
+// Rename implements FS.
+func (fs *FaultFS) Rename(oldname, newname string) error {
+	return fs.inner.Rename(oldname, newname)
+}
+
+// Remove implements FS.
+func (fs *FaultFS) Remove(name string) error { return fs.inner.Remove(name) }
+
+// Truncate implements FS.
+func (fs *FaultFS) Truncate(name string, size int64) error {
+	return fs.inner.Truncate(name, size)
+}
+
+// SyncDir implements FS.
+func (fs *FaultFS) SyncDir(dir string) error { return fs.inner.SyncDir(dir) }
+
+// faultFile filters one file's writes and syncs through the plan.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allow, err := f.fs.checkWrite(len(p))
+	if allow > 0 {
+		n, werr := f.inner.Write(p[:allow])
+		if werr != nil {
+			return n, werr
+		}
+		if err == nil {
+			return n, nil
+		}
+		return n, err
+	}
+	return 0, err
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.checkSync(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

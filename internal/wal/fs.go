@@ -1,0 +1,268 @@
+// Package wal is the durability spine of the serving layer: an
+// append-only, CRC32C-framed, length-prefixed write-ahead log of
+// opaque payloads plus snapshot checkpoints with log compaction.
+//
+// The log lives in one directory: segment files ("wal-<firstLSN>.log")
+// holding framed records with contiguous log sequence numbers, and at
+// most one live snapshot file ("snap-<lastLSN>.snap") holding a single
+// framed payload that summarizes every record with LSN <= lastLSN.
+// A checkpoint rotates appends onto a fresh segment, persists the
+// snapshot via write-to-temp + rename, and removes the segments the
+// snapshot covers. Recovery reads the newest valid snapshot and
+// replays the segment records past its LSN; a torn or corrupt tail is
+// truncated at the last valid record (strict mode rejects it instead).
+//
+// All I/O goes through the FS interface so tests can run the log on an
+// in-memory filesystem (MemFS), simulate crashes by truncating the
+// byte image at arbitrary offsets, and inject write/sync faults
+// (FaultFS): short writes, ENOSPC, and fsync errors. Any such failure
+// marks the log failed (sticky, ErrFailed) — the caller degrades
+// rather than trusting a file in unknown state.
+//
+// Durability contract: with SyncAlways every successful Append is
+// fsynced before it returns, so an acknowledged record survives a
+// crash; SyncInterval bounds loss to the sync interval; SyncNever
+// leaves syncing to the OS. Unsynced tail records may be lost or torn
+// — recovery drops them cleanly, never silently corrupts.
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the filesystem surface the log needs, narrow enough to
+// implement in memory and to wrap with fault injection. Paths are
+// passed through verbatim; implementations need not support
+// subdirectories beyond MkdirAll of the log directory itself.
+type FS interface {
+	// MkdirAll ensures the directory exists.
+	MkdirAll(dir string, perm os.FileMode) error
+	// ReadDir lists the base names of the files directly inside dir.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile returns the full contents of name.
+	ReadFile(name string) ([]byte, error)
+	// Create opens name for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// SyncDir flushes directory metadata (creates, renames, removes)
+	// so they survive a crash.
+	SyncDir(dir string) error
+}
+
+// File is an open log file: sequential writes, explicit fsync.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Close releases the handle (without an implied Sync).
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// OpenAppend implements FS.
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Truncate implements FS.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir implements FS: fsync on the directory fd, which is what
+// makes renames and creates durable on POSIX filesystems.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// MemFS is an in-memory FS for tests: a flat map from path to bytes.
+// It is safe for concurrent use. Snapshot/NewMemFSFrom support crash
+// simulation — capture the byte image, truncate a tail at an arbitrary
+// offset, and recover a fresh log from the mutilated copy.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+// NewMemFSFrom builds a MemFS over a deep copy of files.
+func NewMemFSFrom(files map[string][]byte) *MemFS {
+	fs := NewMemFS()
+	for name, b := range files {
+		fs.files[name] = append([]byte(nil), b...)
+	}
+	return fs
+}
+
+// Snapshot deep-copies the current byte image (the crash-simulation
+// capture point).
+func (fs *MemFS) Snapshot() map[string][]byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make(map[string][]byte, len(fs.files))
+	for name, b := range fs.files {
+		out[name] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// MkdirAll implements FS (directories are implicit).
+func (fs *MemFS) MkdirAll(string, os.FileMode) error { return nil }
+
+// ReadDir implements FS.
+func (fs *MemFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var names []string
+	for name := range fs.files {
+		if filepath.Dir(name) == filepath.Clean(dir) {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	b, ok := fs.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), b...), nil
+}
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	fs.mu.Lock()
+	fs.files[name] = nil
+	fs.mu.Unlock()
+	return &memFile{fs: fs, name: name}, nil
+}
+
+// OpenAppend implements FS.
+func (fs *MemFS) OpenAppend(name string) (File, error) {
+	fs.mu.Lock()
+	if _, ok := fs.files[name]; !ok {
+		fs.files[name] = nil
+	}
+	fs.mu.Unlock()
+	return &memFile{fs: fs, name: name}, nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	b, ok := fs.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	fs.files[newname] = b
+	delete(fs.files, oldname)
+	return nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (fs *MemFS) Truncate(name string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	b, ok := fs.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(b)) {
+		return &os.PathError{Op: "truncate", Path: name, Err: fmt.Errorf("size %d out of range", size)}
+	}
+	fs.files[name] = b[:size]
+	return nil
+}
+
+// SyncDir implements FS (memory is always "durable").
+func (fs *MemFS) SyncDir(string) error { return nil }
+
+// memFile appends to its MemFS entry.
+type memFile struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
+	f.fs.files[f.name] = append(f.fs.files[f.name], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error { return nil }
+
+func (f *memFile) Close() error {
+	f.closed = true
+	return nil
+}

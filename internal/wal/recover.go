@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// recover_ reads dir's snapshot and segment files, repairs or rejects
+// tail corruption per strict, and returns the recovered state, the
+// base name of the segment appends should continue in ("" when a
+// fresh one must be created), and the next LSN.
+//
+// Repair rules (non-strict): a torn or CRC-damaged tail of the record
+// stream truncates at the last valid record — later bytes in that
+// segment and all later segments are dropped and counted in
+// TruncatedBytes. An LSN discontinuity (a lost file) is treated the
+// same way: everything from the gap on is dropped. An unreadable
+// snapshot falls back to the next older one. Strict mode returns
+// ErrCorrupt for any of these instead of repairing, which is the
+// operator's choice when silent tail loss must halt the service.
+func recover_(fs FS, dir string, strict bool) (*Recovered, string, uint64, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, "", 0, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var snaps, segs []uint64
+	for _, name := range names {
+		if lsn, ok := parseName(name, snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, lsn)
+		} else if lsn, ok := parseName(name, segPrefix, segSuffix); ok {
+			segs = append(segs, lsn)
+		} else if strings.HasSuffix(name, tmpSuffix) {
+			// An unpublished checkpoint temp from a crash mid-commit.
+			_ = fs.Remove(filepath.Join(dir, name))
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	rec := &Recovered{}
+	for _, lsn := range snaps {
+		name := snapName(lsn)
+		b, err := fs.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, "", 0, fmt.Errorf("wal: reading snapshot %s: %w", name, err)
+		}
+		recs, _, derr := DecodeRecords(b)
+		if derr != nil || len(recs) != 1 || recs[0].LSN != lsn {
+			if strict {
+				return nil, "", 0, fmt.Errorf("wal: snapshot %s unreadable (strict): %w", name, ErrCorrupt)
+			}
+			rec.DroppedSnapshots++
+			continue
+		}
+		rec.SnapshotPayload = recs[0].Payload
+		rec.SnapshotLSN = lsn
+		break
+	}
+
+	nextWant := rec.SnapshotLSN + 1 // the LSN continuity cursor
+	lastSeg := ""
+	damaged := false // a truncation happened; drop all later segments
+	for i, first := range segs {
+		name := segName(first)
+		if damaged {
+			b, _ := fs.ReadFile(filepath.Join(dir, name))
+			rec.TruncatedBytes += int64(len(b))
+			_ = fs.Remove(filepath.Join(dir, name))
+			continue
+		}
+		b, err := fs.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, "", 0, fmt.Errorf("wal: reading segment %s: %w", name, err)
+		}
+		recs, validLen, derr := DecodeRecords(b)
+		if derr != nil {
+			if strict {
+				return nil, "", 0, fmt.Errorf("wal: segment %s: %w", name, derr)
+			}
+			rec.TruncatedBytes += int64(len(b)) - validLen
+			if err := fs.Truncate(filepath.Join(dir, name), validLen); err != nil {
+				return nil, "", 0, fmt.Errorf("wal: truncating %s to %d: %w", name, validLen, err)
+			}
+			damaged = true
+		}
+		keep := recs[:0:0]
+		for j, r := range recs {
+			if r.LSN <= rec.SnapshotLSN {
+				continue // compacted into the snapshot; skip
+			}
+			if r.LSN != nextWant {
+				// A gap: a lost or misordered file. Everything from
+				// here on is unusable.
+				if strict {
+					return nil, "", 0, fmt.Errorf("wal: segment %s: lsn %d, want %d: %w",
+						name, r.LSN, nextWant, ErrCorrupt)
+				}
+				// Truncate this segment at the gap and stop.
+				off := int64(0)
+				for _, rr := range recs[:j] {
+					off += headerSize + int64(len(rr.Payload))
+				}
+				rec.TruncatedBytes += validLen - off
+				if err := fs.Truncate(filepath.Join(dir, name), off); err != nil {
+					return nil, "", 0, fmt.Errorf("wal: truncating %s to %d: %w", name, off, err)
+				}
+				damaged = true
+				break
+			}
+			keep = append(keep, r)
+			nextWant++
+		}
+		rec.Records = append(rec.Records, keep...)
+		if damaged {
+			lastSeg = name
+			continue
+		}
+		// A fully snapshot-covered segment (all records <= SnapshotLSN)
+		// is dead weight unless it is the last one (which appends
+		// continue into).
+		if len(keep) == 0 && nextWant == rec.SnapshotLSN+1 && i < len(segs)-1 {
+			_ = fs.Remove(filepath.Join(dir, name))
+			continue
+		}
+		lastSeg = name
+	}
+	if lastSeg == "" {
+		// No usable segment: appends start a fresh one at nextWant.
+		return rec, "", nextWant, nil
+	}
+	return rec, lastSeg, nextWant, nil
+}

@@ -1,0 +1,383 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Structured failures, branched on with errors.Is.
+var (
+	// ErrFailed reports a log whose backing file is in an unknown state
+	// after a write or sync error; the failure is sticky — every
+	// subsequent Append returns it until the process restarts and
+	// recovers. Callers should degrade to read-only, not retry.
+	ErrFailed = errors.New("wal: log failed")
+	// ErrCorrupt reports framing or checksum damage. Recovery in
+	// non-strict mode repairs tail corruption by truncation and never
+	// returns it; strict mode surfaces it instead of repairing.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every Append before it returns: an
+	// acknowledged record survives a crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (Options.Interval):
+	// crash loss is bounded by the interval.
+	SyncInterval
+	// SyncNever leaves syncing to the OS page cache.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem; nil selects the real one (OSFS).
+	FS FS
+	// Policy selects the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// Interval is the background sync period for SyncInterval
+	// (<= 0 selects 100ms).
+	Interval time.Duration
+	// Strict makes recovery reject any corruption (ErrCorrupt) instead
+	// of truncating the tail at the last valid record.
+	Strict bool
+}
+
+// Recovered reports what Open reconstructed.
+type Recovered struct {
+	// SnapshotPayload is the newest valid snapshot's payload, nil if
+	// no snapshot exists.
+	SnapshotPayload []byte
+	// SnapshotLSN is the last LSN the snapshot covers (0 without one).
+	SnapshotLSN uint64
+	// Records are the log records past SnapshotLSN, in LSN order.
+	Records []Record
+	// TruncatedBytes counts bytes dropped from a torn or corrupt tail
+	// (0 on a clean open; always 0 in strict mode, which errors
+	// instead).
+	TruncatedBytes int64
+	// DroppedSnapshots counts unreadable snapshot files skipped over
+	// (non-strict mode only).
+	DroppedSnapshots int
+}
+
+// Log is an append-only write-ahead log over one directory. Append
+// and Sync are safe for concurrent use; StartCheckpoint serializes
+// with appends internally but the caller owns making its snapshot
+// payload consistent with the rotation point (see StartCheckpoint).
+type Log struct {
+	fs   FS
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	seg      File   // active segment
+	segName  string // base name of the active segment
+	nextLSN  uint64
+	segTally int64 // records in segments (not snapshot-covered)
+	failed   error // sticky failure cause
+
+	tickerStop chan struct{}
+	tickerDone chan struct{}
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+	tmpSuffix  = ".tmp"
+)
+
+func segName(firstLSN uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix) }
+func snapName(lastLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, lastLSN, snapSuffix)
+}
+func parseName(name, prefix, suffix string) (uint64, bool) {
+	if len(name) != len(prefix)+16+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return 0, false
+	}
+	var lsn uint64
+	if _, err := fmt.Sscanf(name[len(prefix):len(prefix)+16], "%016x", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// Open recovers the log in dir (creating it if absent) and returns a
+// Log positioned to append after the last valid record, plus the
+// Recovered state to replay. In non-strict mode a torn or corrupt
+// tail is truncated at the last valid record before the log reopens
+// for appending; strict mode returns ErrCorrupt instead.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	rec, lastSeg, nextLSN, err := recover_(fs, dir, opts.Strict)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{fs: fs, dir: dir, opts: opts, nextLSN: nextLSN, segTally: int64(len(rec.Records))}
+	if lastSeg == "" {
+		lastSeg = segName(nextLSN)
+	}
+	l.segName = lastSeg
+	l.seg, err = fs.OpenAppend(filepath.Join(dir, lastSeg))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening segment %s: %w", lastSeg, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		l.seg.Close()
+		return nil, nil, fmt.Errorf("wal: syncing %s: %w", dir, err)
+	}
+	if opts.Policy == SyncInterval {
+		l.tickerStop = make(chan struct{})
+		l.tickerDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, rec, nil
+}
+
+// syncLoop is the SyncInterval background flusher.
+func (l *Log) syncLoop() {
+	defer close(l.tickerDone)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync() // a failure is sticky; Append surfaces it
+		case <-l.tickerStop:
+			return
+		}
+	}
+}
+
+// Append durably appends one payload and returns its LSN. Under
+// SyncAlways the record is fsynced before Append returns. Any write
+// or sync failure marks the log failed: the error (wrapping both the
+// cause and ErrFailed) is returned now and by every later Append.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	lsn := l.nextLSN
+	frame := appendFrame(nil, lsn, payload)
+	if _, err := l.seg.Write(frame); err != nil {
+		return 0, l.fail(fmt.Errorf("append lsn %d: %w", lsn, err))
+	}
+	if l.opts.Policy == SyncAlways {
+		if err := l.seg.Sync(); err != nil {
+			return 0, l.fail(fmt.Errorf("sync lsn %d: %w", lsn, err))
+		}
+	}
+	l.nextLSN++
+	l.segTally++
+	return lsn, nil
+}
+
+// Sync flushes the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.seg.Sync(); err != nil {
+		return l.fail(fmt.Errorf("sync: %w", err))
+	}
+	return nil
+}
+
+// fail records the sticky failure (caller holds l.mu).
+func (l *Log) fail(cause error) error {
+	l.failed = fmt.Errorf("wal: %w: %w", cause, ErrFailed)
+	return l.failed
+}
+
+// Err returns the sticky failure, nil while healthy.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// NextLSN returns the LSN the next Append will use.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// SegmentRecords returns the record count living in segments (i.e.
+// not yet compacted into a snapshot) — the checkpoint trigger input.
+func (l *Log) SegmentRecords() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segTally
+}
+
+// Close stops the sync loop, flushes, and closes the active segment.
+func (l *Log) Close() error {
+	if l.tickerStop != nil {
+		close(l.tickerStop)
+		<-l.tickerDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	if l.failed == nil {
+		if serr := l.seg.Sync(); serr != nil {
+			err = serr
+		}
+	}
+	if cerr := l.seg.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Checkpoint is an in-progress snapshot checkpoint: appends have been
+// rotated onto a fresh segment; Commit persists the snapshot payload
+// and compacts the covered segments.
+type Checkpoint struct {
+	l       *Log
+	lastLSN uint64   // the snapshot covers records <= lastLSN
+	old     []string // segment base names the snapshot will compact
+}
+
+// LastLSN is the LSN the committed snapshot will cover through.
+func (ck *Checkpoint) LastLSN() uint64 { return ck.lastLSN }
+
+// StartCheckpoint rotates appends onto a fresh segment and returns a
+// Checkpoint covering every record appended so far. The caller must
+// ensure no appends race the interval between StartCheckpoint and
+// capturing the state the snapshot payload describes — the serving
+// layer holds its checkpoint mutex across both — then call Commit (or
+// simply drop the Checkpoint to abort; the rotation itself is
+// harmless, recovery reads across segment boundaries).
+func (l *Log) StartCheckpoint() (*Checkpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return nil, l.failed
+	}
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, l.fail(fmt.Errorf("checkpoint listing: %w", err))
+	}
+	ck := &Checkpoint{l: l, lastLSN: l.nextLSN - 1}
+	newName := segName(l.nextLSN)
+	if newName == l.segName {
+		// Empty active segment: nothing to rotate, compact the rest.
+		for _, name := range names {
+			if _, ok := parseName(name, segPrefix, segSuffix); ok && name != l.segName {
+				ck.old = append(ck.old, name)
+			}
+		}
+		return ck, nil
+	}
+	seg, err := l.fs.Create(filepath.Join(l.dir, newName))
+	if err != nil {
+		return nil, l.fail(fmt.Errorf("checkpoint rotating to %s: %w", newName, err))
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		seg.Close()
+		return nil, l.fail(fmt.Errorf("checkpoint syncing %s: %w", l.dir, err))
+	}
+	_ = l.seg.Close()
+	l.seg, l.segName = seg, newName
+	for _, name := range names {
+		if _, ok := parseName(name, segPrefix, segSuffix); ok && name != newName {
+			ck.old = append(ck.old, name)
+		}
+	}
+	return ck, nil
+}
+
+// Commit persists payload as the snapshot covering records up to
+// LastLSN — write to temp, fsync, rename, fsync dir — then removes
+// the compacted segments and superseded snapshots. Removal failures
+// are ignored: orphans are harmless (recovery is LSN-governed) and
+// reaped by the next checkpoint.
+func (ck *Checkpoint) Commit(payload []byte) error {
+	l := ck.l
+	final := snapName(ck.lastLSN)
+	tmp := filepath.Join(l.dir, final+tmpSuffix)
+	f, err := l.fs.Create(tmp)
+	if err != nil {
+		return l.commitFail(fmt.Errorf("checkpoint creating %s: %w", tmp, err))
+	}
+	frame := appendFrame(nil, ck.lastLSN, payload)
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return l.commitFail(fmt.Errorf("checkpoint writing %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return l.commitFail(fmt.Errorf("checkpoint syncing %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return l.commitFail(fmt.Errorf("checkpoint closing %s: %w", tmp, err))
+	}
+	if err := l.fs.Rename(tmp, filepath.Join(l.dir, final)); err != nil {
+		return l.commitFail(fmt.Errorf("checkpoint publishing %s: %w", final, err))
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return l.commitFail(fmt.Errorf("checkpoint syncing %s: %w", l.dir, err))
+	}
+	// The snapshot is durable; compact what it covers.
+	names, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		names = nil
+	}
+	for _, name := range names {
+		if lsn, ok := parseName(name, snapPrefix, snapSuffix); ok && lsn < ck.lastLSN {
+			_ = l.fs.Remove(filepath.Join(l.dir, name))
+		}
+	}
+	for _, name := range ck.old {
+		_ = l.fs.Remove(filepath.Join(l.dir, name))
+	}
+	_ = l.fs.SyncDir(l.dir)
+	l.mu.Lock()
+	l.segTally = int64(l.nextLSN - 1 - ck.lastLSN)
+	l.mu.Unlock()
+	return nil
+}
+
+// commitFail marks the log failed from a checkpoint I/O error.
+func (l *Log) commitFail(cause error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fail(cause)
+}

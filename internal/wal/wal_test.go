@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+const dir = "/data"
+
+func mustAppend(t *testing.T, l *Log, payload string) uint64 {
+	t.Helper()
+	lsn, err := l.Append([]byte(payload))
+	if err != nil {
+		t.Fatalf("Append(%q): %v", payload, err)
+	}
+	return lsn
+}
+
+func openMem(t *testing.T, fs FS, strict bool) (*Log, *Recovered) {
+	t.Helper()
+	l, rec, err := Open(dir, Options{FS: fs, Strict: strict})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+func payloads(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = string(r.Payload)
+	}
+	return out
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	fs := NewMemFS()
+	l, rec := openMem(t, fs, false)
+	if rec.SnapshotPayload != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh open recovered %+v", rec)
+	}
+	want := []string{"a", "bb", "", "dddd"}
+	for i, p := range want {
+		if lsn := mustAppend(t, l, p); lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openMem(t, fs, false)
+	defer l2.Close()
+	if got := payloads(rec2.Records); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	if rec2.TruncatedBytes != 0 {
+		t.Fatalf("clean reopen truncated %d bytes", rec2.TruncatedBytes)
+	}
+	if lsn := mustAppend(t, l2, "e"); lsn != 5 {
+		t.Fatalf("continuation lsn = %d, want 5", lsn)
+	}
+}
+
+func TestCheckpointCompaction(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, false)
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, fmt.Sprintf("r%d", i))
+	}
+	ck, err := l.StartCheckpoint()
+	if err != nil {
+		t.Fatalf("StartCheckpoint: %v", err)
+	}
+	if ck.LastLSN() != 5 {
+		t.Fatalf("LastLSN = %d, want 5", ck.LastLSN())
+	}
+	// Records appended after rotation land in the new segment and
+	// survive the compaction.
+	mustAppend(t, l, "after-rotate")
+	if err := ck.Commit([]byte("snapshot-state")); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	mustAppend(t, l, "after-commit")
+	if n := l.SegmentRecords(); n != 2 {
+		t.Fatalf("SegmentRecords = %d, want 2", n)
+	}
+	l.Close()
+
+	l2, rec := openMem(t, fs, false)
+	defer l2.Close()
+	if string(rec.SnapshotPayload) != "snapshot-state" || rec.SnapshotLSN != 5 {
+		t.Fatalf("snapshot = %q @ %d, want snapshot-state @ 5", rec.SnapshotPayload, rec.SnapshotLSN)
+	}
+	if got := payloads(rec.Records); fmt.Sprint(got) != fmt.Sprint([]string{"after-rotate", "after-commit"}) {
+		t.Fatalf("records = %v", got)
+	}
+	// The pre-checkpoint segment must be gone.
+	names, _ := fs.ReadDir(dir)
+	for _, name := range names {
+		if name == segName(1) {
+			t.Fatalf("compacted segment %s still present (dir: %v)", name, names)
+		}
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, false)
+	for i := 0; i < 4; i++ {
+		mustAppend(t, l, fmt.Sprintf("rec-%d", i))
+	}
+	l.Close()
+
+	// Tear the tail: chop the last 3 bytes of the segment.
+	img := fs.Snapshot()
+	seg := dir + "/" + segName(1)
+	img[seg] = img[seg][:len(img[seg])-3]
+	crashed := NewMemFSFrom(img)
+
+	l2, rec := openMem(t, crashed, false)
+	defer l2.Close()
+	if got := payloads(rec.Records); fmt.Sprint(got) != fmt.Sprint([]string{"rec-0", "rec-1", "rec-2"}) {
+		t.Fatalf("recovered %v, want first three", got)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatalf("expected truncated bytes reported")
+	}
+	// The torn record's LSN is reused by the next append.
+	if lsn := mustAppend(t, l2, "replacement"); lsn != 4 {
+		t.Fatalf("post-truncation lsn = %d, want 4", lsn)
+	}
+}
+
+func TestStrictRejectsCorruptTail(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, false)
+	mustAppend(t, l, "one")
+	mustAppend(t, l, "two")
+	l.Close()
+
+	img := fs.Snapshot()
+	seg := dir + "/" + segName(1)
+	img[seg] = img[seg][:len(img[seg])-1]
+	crashed := NewMemFSFrom(img)
+
+	if _, _, err := Open(dir, Options{FS: crashed, Strict: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict open: err = %v, want ErrCorrupt", err)
+	}
+	// Non-strict on the same image repairs.
+	l2, rec := openMem(t, crashed, false)
+	defer l2.Close()
+	if got := payloads(rec.Records); fmt.Sprint(got) != fmt.Sprint([]string{"one"}) {
+		t.Fatalf("recovered %v, want [one]", got)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	fs := NewMemFS()
+	l, _ := openMem(t, fs, false)
+	mustAppend(t, l, "aaaa")
+	mustAppend(t, l, "bbbb")
+	l.Close()
+
+	img := fs.Snapshot()
+	seg := dir + "/" + segName(1)
+	// Flip one payload byte of the second record.
+	img[seg][len(img[seg])-1] ^= 0x40
+	crashed := NewMemFSFrom(img)
+
+	l2, rec := openMem(t, crashed, false)
+	defer l2.Close()
+	if got := payloads(rec.Records); fmt.Sprint(got) != fmt.Sprint([]string{"aaaa"}) {
+		t.Fatalf("recovered %v, want the clean prefix only", got)
+	}
+}
+
+func TestWriteErrorSticky(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	l, _ := openMem(t, ffs, false)
+	mustAppend(t, l, "ok")
+	// Arm: one more write is allowed, then ENOSPC-style failure.
+	ffs.SetPlan(FaultPlan{FailWriteAfter: 1, WriteErr: errors.New("disk full")})
+	mustAppend(t, l, "still fine")
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Append after write fault: %v, want ErrFailed", err)
+	}
+	// Sticky: even without the fault the log stays failed.
+	ffs.SetPlan(FaultPlan{})
+	if _, err := l.Append([]byte("nope")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Append after recovery-less fault: %v, want sticky ErrFailed", err)
+	}
+	if l.Err() == nil {
+		t.Fatalf("Err() = nil after failure")
+	}
+}
+
+func TestSyncErrorSticky(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	l, _ := openMem(t, ffs, false)
+	mustAppend(t, l, "ok")
+	ffs.SetPlan(FaultPlan{FailSyncAfter: 1, SyncErr: errors.New("io error")})
+	mustAppend(t, l, "last synced")
+	if _, err := l.Append([]byte("doomed")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("Append after sync fault: %v, want ErrFailed", err)
+	}
+}
+
+func TestShortWriteRecoverable(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	l, _ := openMem(t, ffs, false)
+	// The first append lands whole; the second tears mid-frame: half
+	// its bytes reach the file before the error.
+	ffs.SetPlan(FaultPlan{FailWriteAfter: 1, ShortWrite: true, WriteErr: errors.New("torn")})
+	mustAppend(t, l, "first")
+	if _, err := l.Append([]byte("torn-record")); !errors.Is(err, ErrFailed) {
+		t.Fatalf("torn Append: %v, want ErrFailed", err)
+	}
+	// Recovery on the underlying bytes drops the torn frame cleanly.
+	l2, rec := openMem(t, mem, false)
+	defer l2.Close()
+	if got := payloads(rec.Records); fmt.Sprint(got) != fmt.Sprint([]string{"first"}) {
+		t.Fatalf("recovered %v, want [first]", got)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatalf("short write left no truncated bytes")
+	}
+	mustAppend(t, l2, "after-repair")
+}
+
+// TestRandomKillOffsets is the wal-level half of the crash property
+// suite: random workloads of appends and checkpoints, the byte image
+// cut at a random offset inside the active segment, and recovery must
+// return exactly the records whose frames lie entirely below the cut.
+func TestRandomKillOffsets(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		fs := NewMemFS()
+		l, _ := openMem(t, fs, false)
+		var acked []string
+		var snapAt int // acked prefix length the last snapshot covers
+		total := 4 + rng.Intn(20)
+		for i := 0; i < total; i++ {
+			p := fmt.Sprintf("s%d-r%d-%x", seed, i, rng.Int63())
+			mustAppend(t, l, p)
+			acked = append(acked, p)
+			if rng.Intn(7) == 0 {
+				ck, err := l.StartCheckpoint()
+				if err != nil {
+					t.Fatalf("seed %d: StartCheckpoint: %v", seed, err)
+				}
+				if err := ck.Commit([]byte(fmt.Sprintf("snap:%d", len(acked)))); err != nil {
+					t.Fatalf("seed %d: Commit: %v", seed, err)
+				}
+				snapAt = len(acked)
+			}
+		}
+		l.Close()
+
+		img := fs.Snapshot()
+		// Find the active (highest-first-LSN) segment and cut it.
+		segPath, segFirst := "", uint64(0)
+		for name := range img {
+			if lsn, ok := parseName(name[len(dir)+1:], segPrefix, segSuffix); ok && (segPath == "" || lsn > segFirst) {
+				segPath, segFirst = name, lsn
+			}
+		}
+		if segPath == "" {
+			t.Fatalf("seed %d: no segment in image", seed)
+		}
+		cut := rng.Intn(len(img[segPath]) + 1)
+		img[segPath] = img[segPath][:cut]
+
+		// Survivors: records of the cut segment whose frames end at or
+		// below the cut, i.e. acked[segFirst-1 : segFirst-1+k].
+		recs, _, _ := DecodeRecords(img[segPath])
+		survive := int(segFirst) - 1 + len(recs)
+		if survive < snapAt {
+			t.Fatalf("seed %d: cut below snapshot coverage (%d < %d)", seed, survive, snapAt)
+		}
+
+		l2, rec := openMem(t, NewMemFSFrom(img), false)
+		wantSnap := ""
+		if snapAt > 0 {
+			wantSnap = fmt.Sprintf("snap:%d", snapAt)
+		}
+		if string(rec.SnapshotPayload) != wantSnap {
+			t.Fatalf("seed %d: snapshot %q, want %q", seed, rec.SnapshotPayload, wantSnap)
+		}
+		got := payloads(rec.Records)
+		want := acked[snapAt:survive]
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("seed %d cut %d: recovered %v, want %v", seed, cut, got, want)
+		}
+		// The log must keep working after repair.
+		if lsn := mustAppend(t, l2, "post"); lsn != uint64(survive)+1 {
+			t.Fatalf("seed %d: post-repair lsn %d, want %d", seed, lsn, survive+1)
+		}
+		l2.Close()
+	}
+}
+
+func TestDecodeRecordsBoundaries(t *testing.T) {
+	var buf []byte
+	buf = appendFrame(buf, 1, []byte("x"))
+	buf = appendFrame(buf, 2, []byte("yy"))
+	recs, validLen, err := DecodeRecords(buf)
+	if err != nil || len(recs) != 2 || validLen != int64(len(buf)) {
+		t.Fatalf("DecodeRecords clean: %d recs, len %d, err %v", len(recs), validLen, err)
+	}
+	// Garbage length prefix.
+	bad := append(append([]byte(nil), buf...), bytes.Repeat([]byte{0xff}, headerSize)...)
+	recs, validLen, err = DecodeRecords(bad)
+	if err == nil || len(recs) != 2 || validLen != int64(len(buf)) {
+		t.Fatalf("DecodeRecords garbage tail: %d recs, len %d, err %v", len(recs), validLen, err)
+	}
+}
